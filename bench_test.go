@@ -1,0 +1,338 @@
+package jayanti98_test
+
+// One benchmark per experiment of DESIGN.md §3 (E1–E12), plus micro
+// benchmarks of the substrates. The forced-steps metrics are reported via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the numbers
+// recorded in EXPERIMENTS.md alongside wall-clock costs.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"jayanti98/internal/core"
+	"jayanti98/internal/linz"
+	"jayanti98/internal/llsc"
+	"jayanti98/internal/lowerbound"
+	"jayanti98/internal/machine"
+	"jayanti98/internal/moveplan"
+	"jayanti98/internal/objtype"
+	"jayanti98/internal/shmem"
+	"jayanti98/internal/universal"
+	"jayanti98/internal/wakeup"
+)
+
+var benchNs = []int{4, 16, 64, 256}
+
+// BenchmarkE1WakeupForcedSteps measures the adversary-forced cost of the
+// correct deterministic wakeup algorithms (Theorem 6.1).
+func BenchmarkE1WakeupForcedSteps(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("set-register/n=%d", n), func(b *testing.B) {
+			var last lowerbound.WakeupResult
+			for i := 0; i < b.N; i++ {
+				res, err := lowerbound.MeasureWakeup(wakeup.SetRegister(), n, machine.ZeroTosses)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK() {
+					b.Fatalf("checks failed: %+v", res)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.WinnerSteps), "winner-steps")
+			b.ReportMetric(float64(last.Bound), "log4n-bound")
+		})
+	}
+}
+
+// BenchmarkE2RandomizedWakeup estimates the expected winner cost of the
+// randomized double-register algorithm (Lemma 3.1 / Theorem 6.1).
+func BenchmarkE2RandomizedWakeup(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := lowerbound.ExpectedComplexity(
+					func(int) machine.Algorithm { return wakeup.DoubleRegister() }, n, 10, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.Winner.Mean
+			}
+			b.ReportMetric(mean, "E-winner-steps")
+		})
+	}
+}
+
+// BenchmarkE3TypeLowerBounds runs every Theorem 6.2 reduction over the
+// group-update construction at n = 16.
+func BenchmarkE3TypeLowerBounds(b *testing.B) {
+	const n = 16
+	for _, spec := range wakeup.Reductions() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			var last lowerbound.WakeupResult
+			for i := 0; i < b.N; i++ {
+				alg, _, err := lowerbound.BuildReduction(spec, "group-update", n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := lowerbound.MeasureWakeup(alg, n, machine.ZeroTosses)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK() {
+					b.Fatalf("checks failed: %+v", res)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.WinnerSteps), "winner-steps")
+		})
+	}
+}
+
+// BenchmarkE4UPTracking isolates the UP-set update rules (Lemma 5.1
+// bookkeeping) by running the adversary with them on.
+func BenchmarkE4UPTracking(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run, err := core.RunAll(wakeup.SetRegister(), n, machine.ZeroTosses, core.Config{NoHistory: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := core.CheckLemma51(run); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5Indistinguishability measures the (S,A)-run replay plus the
+// Lemma 5.2 check for every process of a run.
+func BenchmarkE5Indistinguishability(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lowerbound.VerifyIndistinguishability(wakeup.SetRegister(), n, machine.ZeroTosses); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6CatchCheater measures the full Theorem 6.1 catch pipeline.
+func BenchmarkE6CatchCheater(b *testing.B) {
+	const n = 64
+	for i := 0; i < b.N; i++ {
+		run, err := core.RunAll(wakeup.Cheater(), n, machine.ZeroTosses, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		catch, err := core.CatchFastWakeup(run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if catch == nil {
+			b.Fatal("cheater not caught")
+		}
+	}
+}
+
+// BenchmarkE7GroupUpdate measures the adversary-forced per-op cost of the
+// tight O(log n) construction.
+func BenchmarkE7GroupUpdate(b *testing.B) {
+	benchConstruction(b, func(n int) universal.Construction {
+		return universal.NewGroupUpdate(objtype.NewFetchIncrement(64), n, 0)
+	})
+}
+
+// BenchmarkE8Herlihy measures the Θ(n) baseline construction.
+func BenchmarkE8Herlihy(b *testing.B) {
+	benchConstruction(b, func(n int) universal.Construction {
+		return universal.NewHerlihy(objtype.NewFetchIncrement(64), n, 0)
+	})
+}
+
+func benchConstruction(b *testing.B, mk func(n int) universal.Construction) {
+	b.Helper()
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var last lowerbound.ConstructionResult
+			for i := 0; i < b.N; i++ {
+				res, err := lowerbound.MeasureConstruction(mk, lowerbound.FetchIncOp, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.MaxSteps), "forced-steps/op")
+			b.ReportMetric(float64(last.LowerBound), "log4n-bound")
+		})
+	}
+}
+
+// BenchmarkE9MovePlans measures secretive-schedule construction on the
+// Section 4 chain workload.
+func BenchmarkE9MovePlans(b *testing.B) {
+	for _, n := range []int{64, 1024, 4096} {
+		plan := make(moveplan.Plan, n)
+		for i := 0; i < n; i++ {
+			plan[i] = moveplan.Move{Src: i, Dst: i + 1}
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var sigma moveplan.Schedule
+			for i := 0; i < b.N; i++ {
+				sigma = moveplan.Secretive(plan)
+			}
+			if got := moveplan.MaxMovers(plan, sigma); got > 2 {
+				b.Fatalf("max movers = %d", got)
+			}
+		})
+	}
+}
+
+// BenchmarkE10RMWUnitTime measures the Section 7 unit-time universal
+// object.
+func BenchmarkE10RMWUnitTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := lowerbound.RMWUnitTime(objtype.NewFetchIncrement(64), 256, lowerbound.FetchIncOp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Correct {
+			b.Fatal("incorrect responses")
+		}
+	}
+	b.ReportMetric(1, "steps/op")
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkShmemLLSC measures the simulated memory's LL+SC pair.
+func BenchmarkShmemLLSC(b *testing.B) {
+	m := shmem.New()
+	for i := 0; i < b.N; i++ {
+		m.Apply(0, shmem.Op{Kind: shmem.OpLL, Reg: 0})
+		m.Apply(0, shmem.Op{Kind: shmem.OpSC, Reg: 0, Arg: i})
+	}
+}
+
+// BenchmarkLLSCConcurrent measures the concurrent memory under parallel
+// LL/SC contention.
+func BenchmarkLLSCConcurrent(b *testing.B) {
+	const n = 8
+	m := llsc.New(n)
+	var pidCounter int32
+	var mu sync.Mutex
+	nextPid := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		pid := int(pidCounter) % n
+		pidCounter++
+		return pid
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		h := m.Handle(nextPid())
+		for pb.Next() {
+			h.LL(0)
+			h.SC(0, 1)
+		}
+	})
+}
+
+// BenchmarkGroupUpdateConcurrent measures one fetch&increment through the
+// group-update construction on the concurrent backend.
+func BenchmarkGroupUpdateConcurrent(b *testing.B) {
+	const n = 8
+	obj := universal.NewGroupUpdate(objtype.NewFetchIncrement(64), n, 0)
+	m := llsc.New(n)
+	h := m.Handle(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj.Invoke(h, objtype.Op{Name: objtype.OpFetchIncrement})
+	}
+}
+
+// BenchmarkMachineStep measures the coroutine handshake per shared step.
+func BenchmarkMachineStep(b *testing.B) {
+	alg := machine.New("spin", func(e *machine.Env) shmem.Value {
+		for {
+			e.Read(0)
+		}
+	})
+	m := machine.Start(alg, 0, 1)
+	defer m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Peek()
+		m.DeliverOpResponse(shmem.Response{OK: false, Val: nil})
+	}
+}
+
+// BenchmarkE11CountingNetwork measures the counting-network wakeup (the
+// semantics-exploiting, bounded-register alternative).
+func BenchmarkE11CountingNetwork(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var last lowerbound.WakeupResult
+			for i := 0; i < b.N; i++ {
+				res, err := lowerbound.MeasureWakeup(wakeup.CountingNetwork(n), n, machine.ZeroTosses)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK() {
+					b.Fatalf("checks failed: %+v", res)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.WinnerSteps), "winner-steps")
+			b.ReportMetric(float64(last.Bound), "log4n-bound")
+		})
+	}
+}
+
+// BenchmarkE12RegisterWidth measures the register-width profile run.
+func BenchmarkE12RegisterWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lowerbound.RegisterWidthProfile(32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLinearizabilityCheck measures the Wing-Gong checker on a
+// concurrent counter history.
+func BenchmarkLinearizabilityCheck(b *testing.B) {
+	const n, k = 4, 3
+	typ := objtype.NewFetchIncrement(16)
+	obj := universal.NewGroupUpdate(typ, n, 0)
+	m := llsc.New(n)
+	rec := linz.NewRecorder(n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for pid := 0; pid < n; pid++ {
+		go func(pid int) {
+			defer wg.Done()
+			h := m.Handle(pid)
+			for i := 0; i < k; i++ {
+				op := objtype.Op{Name: objtype.OpFetchIncrement}
+				inv := rec.Begin()
+				resp := obj.Invoke(h, op)
+				rec.End(pid, op, resp, inv)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	h := rec.History()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := linz.Check(typ, h)
+		if err != nil || !res.Linearizable {
+			b.Fatalf("check failed: %v %v", err, res)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickReportRuns executes the full report pipeline at quick sizes and
+// sanity-checks that every experiment section renders with passing checks.
+func TestQuickReportRuns(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, section := range []string{
+		"E1 —", "E2 —", "E3 —", "E4/E5 —", "E6 —", "E7/E8 —", "E9 —", "E10 —", "E11 —", "E12 —",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("report missing section %q", section)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		i := strings.Index(out, "FAIL")
+		t.Fatalf("report contains a failing check near: %q", out[max(0, i-120):i+60])
+	}
+	if !strings.Contains(out, "measured growth: logarithmic") {
+		t.Error("group-update growth classification missing")
+	}
+	if !strings.Contains(out, "measured growth: linear") {
+		t.Error("herlihy growth classification missing")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+// Command unisweep sweeps the universal constructions across process
+// counts and prints the adversary-forced worst-case shared accesses per
+// operation, together with a growth classification — the executable form
+// of the paper's tightness discussion: the group-update construction stays
+// logarithmic while the herlihy baseline grows linearly, and no oblivious
+// construction may dip below ⌈log₄ n⌉.
+//
+// Usage:
+//
+//	unisweep [-max 256] [-type fetch&increment|queue|stack]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"jayanti98/internal/lowerbound"
+	"jayanti98/internal/objtype"
+	"jayanti98/internal/report"
+	"jayanti98/internal/universal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("unisweep: ")
+	maxN := flag.Int("max", 256, "largest process count (sweep doubles from 2)")
+	typeName := flag.String("type", "fetch&increment", "object type to instantiate")
+	flag.Parse()
+
+	var ns []int
+	for n := 2; n <= *maxN; n *= 2 {
+		ns = append(ns, n)
+	}
+	mkType, op, err := typeFor(*typeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sweeps := []struct {
+		name string
+		mk   func(n int) universal.Construction
+	}{
+		{"group-update", func(n int) universal.Construction { return universal.NewGroupUpdate(mkType(n), n, 0) }},
+		{"herlihy", func(n int) universal.Construction { return universal.NewHerlihy(mkType(n), n, 0) }},
+		{"central", func(n int) universal.Construction { return universal.NewCentral(mkType(n), n, 0) }},
+	}
+	for _, s := range sweeps {
+		results, growth, err := lowerbound.SweepConstruction(s.mk, op, ns)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s on %s — measured growth: %s\n\n", s.name, mkType(2).Name(), growth)
+		tbl := report.NewTable("n", "forced steps/op", "documented bound", "Ω ⌈log₄ n⌉")
+		for _, r := range results {
+			bound := "not wait-free"
+			if r.StepBound > 0 {
+				bound = fmt.Sprintf("%d", r.StepBound)
+			}
+			tbl.AddRow(r.N, r.MaxSteps, bound, r.LowerBound)
+		}
+		fmt.Print(tbl)
+	}
+}
+
+func typeFor(name string) (func(n int) objtype.Type, func(n, pid int) objtype.Op, error) {
+	switch name {
+	case "fetch&increment":
+		return func(n int) objtype.Type { return objtype.NewFetchIncrement(64) },
+			lowerbound.FetchIncOp, nil
+	case "queue":
+		return func(n int) objtype.Type { return objtype.NewWakeupQueue() },
+			func(n, pid int) objtype.Op { return objtype.Op{Name: objtype.OpDequeue} }, nil
+	case "stack":
+		return func(n int) objtype.Type { return objtype.NewWakeupStack() },
+			func(n, pid int) objtype.Op { return objtype.Op{Name: objtype.OpPop} }, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown type %q (want fetch&increment, queue, or stack)", name)
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestTypeForKnowsEveryType(t *testing.T) {
+	for _, name := range []string{"fetch&increment", "queue", "stack"} {
+		mk, op, err := typeFor(name)
+		if err != nil {
+			t.Errorf("typeFor(%q): %v", name, err)
+			continue
+		}
+		typ := mk(4)
+		if typ == nil {
+			t.Errorf("typeFor(%q): nil type", name)
+			continue
+		}
+		o := op(4, 1)
+		// The generated op must be applicable to the type's initial state.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("typeFor(%q): op %v not applicable: %v", name, o, r)
+				}
+			}()
+			typ.Apply(typ.Init(4), o)
+		}()
+	}
+	if _, _, err := typeFor("bogus"); err == nil {
+		t.Error("unknown type must error")
+	}
+}

@@ -1,0 +1,125 @@
+// Command wakeupsim runs one wakeup algorithm against the adversary
+// scheduler of Figure 2 and prints the run's anatomy: per-round groups and
+// steps, who returned what, the forced step counts against the ⌈log₄ n⌉
+// bound, and the outcome of every checkable lemma. With -catch it also
+// attempts the Theorem 6.1 catch (build S = UP(winner, steps) and exhibit
+// the violating (S,A)-run) — try it on -alg cheater.
+//
+// Usage:
+//
+//	wakeupsim [-alg set-register|double-register|move-courier|cheater|
+//	           counting-network|fetch&increment|fetch&and|fetch&or|
+//	           fetch&complement|fetch&multiply|queue|stack|read-increment]
+//	          [-n 16] [-seed 1] [-rounds] [-catch]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"jayanti98/internal/core"
+	"jayanti98/internal/lowerbound"
+	"jayanti98/internal/machine"
+	"jayanti98/internal/report"
+	"jayanti98/internal/wakeup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wakeupsim: ")
+	algName := flag.String("alg", "set-register", "wakeup algorithm or Theorem 6.2 reduction name")
+	n := flag.Int("n", 16, "number of processes")
+	seed := flag.Int64("seed", 1, "toss-assignment seed (randomized algorithms)")
+	showRounds := flag.Bool("rounds", false, "print the per-round schedule")
+	tryCatch := flag.Bool("catch", false, "attempt the Theorem 6.1 catch via the (S,A)-run")
+	flag.Parse()
+
+	alg, err := buildAlgorithm(*algName, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := core.RunAll(alg, *n, lowerbound.HashTosses(*seed), core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("algorithm  %s\n", alg.Name())
+	fmt.Printf("processes  %d\n", *n)
+	fmt.Printf("rounds     %d\n", len(run.Rounds))
+	maxSteps, maxPid := run.MaxSteps()
+	fmt.Printf("t(R)       %d shared accesses (p%d)\n", maxSteps, maxPid)
+	winners := core.WakeupWinners(run.Returns)
+	fmt.Printf("winners    %v\n", winners)
+	for _, wnr := range winners {
+		fmt.Printf("           p%d spent %d steps (bound ⌈log₄ %d⌉ = %d)\n",
+			wnr, run.Steps[wnr], *n, core.Log4Ceil(*n))
+	}
+	fmt.Printf("spec       %s\n", report.Check(core.CheckWakeupRun(run)))
+	fmt.Printf("lemma 5.1  %s\n", report.Check(core.CheckLemma51(run)))
+	fmt.Printf("thm 6.1    %s\n", report.Check(core.VerifyTheorem61(run)))
+
+	if *showRounds {
+		printRounds(run)
+	}
+	if *tryCatch {
+		catch, err := core.CatchFastWakeup(run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if catch == nil {
+			fmt.Println("catch      no winner was fast enough to catch — the bound held")
+			return
+		}
+		fmt.Printf("catch      %s\n", catch)
+		fmt.Printf("           the (S,A)-run violates the wakeup specification: processes %v never step\n",
+			catch.NeverStepped)
+		os.Exit(2)
+	}
+}
+
+func buildAlgorithm(name string, n int) (machine.Algorithm, error) {
+	switch name {
+	case "set-register":
+		return wakeup.SetRegister(), nil
+	case "double-register":
+		return wakeup.DoubleRegister(), nil
+	case "move-courier":
+		return wakeup.MoveCourier(), nil
+	case "cheater":
+		return wakeup.Cheater(), nil
+	case "counting-network":
+		return wakeup.CountingNetwork(n), nil
+	}
+	for _, spec := range wakeup.Reductions() {
+		if spec.Name == name {
+			alg, _, err := lowerbound.BuildReduction(spec, "group-update", n)
+			return alg, err
+		}
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func printRounds(run *core.AllRun) {
+	fmt.Println("\nper-round schedule:")
+	for _, round := range run.Rounds {
+		fmt.Printf("round %d:", round.R)
+		if len(round.Returned) > 0 {
+			pids := make([]int, 0, len(round.Returned))
+			for pid := range round.Returned {
+				pids = append(pids, pid)
+			}
+			sort.Ints(pids)
+			fmt.Printf(" returned=%v", pids)
+		}
+		labels := [4]string{"LL/val", "move", "swap", "SC"}
+		for i, g := range round.Groups {
+			if len(g) > 0 {
+				fmt.Printf(" %s=%v", labels[i], g)
+			}
+		}
+		fmt.Println()
+	}
+}

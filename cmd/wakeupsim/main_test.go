@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestBuildAlgorithmKnowsEveryName(t *testing.T) {
+	names := []string{
+		"set-register", "double-register", "move-courier", "cheater",
+		"counting-network", "fetch&increment", "fetch&and", "fetch&or",
+		"fetch&complement", "fetch&multiply", "queue", "stack", "read-increment",
+	}
+	for _, name := range names {
+		alg, err := buildAlgorithm(name, 8)
+		if err != nil {
+			t.Errorf("buildAlgorithm(%q): %v", name, err)
+			continue
+		}
+		if alg == nil || alg.Name() == "" {
+			t.Errorf("buildAlgorithm(%q) returned a nameless algorithm", name)
+		}
+	}
+	if _, err := buildAlgorithm("no-such-algorithm", 8); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+}

@@ -1,0 +1,32 @@
+// Package jayanti98 is a reproduction of Prasad Jayanti, "A Time Complexity
+// Lower Bound for Randomized Implementations of Some Shared Objects"
+// (PODC 1998), as an executable Go library.
+//
+// The paper proves that on a shared memory supporting LL, SC, validate,
+// swap and move, any solution to the n-process wakeup problem — and hence
+// any implementation of fetch&increment, fetch&and/or/complement/multiply,
+// queues, stacks, or read/increment counters obtained from an oblivious
+// universal construction — forces some process to perform Ω(log n) shared
+// memory operations, even with randomization and even for single-use
+// objects; and that the bound is tight via the Group-Update universal
+// construction of Afek, Dauber and Touitou.
+//
+// The reproduction builds every construction in the paper as executable,
+// machine-checked code:
+//
+//   - internal/shmem, internal/llsc — the shared memory (simulated and
+//     concurrent);
+//   - internal/machine, internal/sched — the process model and schedulers;
+//   - internal/moveplan — secretive complete schedules (Section 4);
+//   - internal/core — the adversary (Figure 2), the UP-set rules
+//     (Section 5.3), the (S,A)-run (Figure 3), the Indistinguishability
+//     Lemma checker, and the Theorem 6.1 machinery;
+//   - internal/wakeup — wakeup algorithms and the Theorem 6.2 reductions;
+//   - internal/objtype, internal/universal — sequential types and the
+//     oblivious universal constructions (Group-Update, Herlihy, Central);
+//   - internal/lowerbound — the experiment harness behind EXPERIMENTS.md.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced results. The benchmarks in
+// bench_test.go regenerate every experiment row.
+package jayanti98

@@ -1,0 +1,58 @@
+// Adversary: the proof of Theorem 6.1 as a live demonstration. A broken
+// "wakeup" algorithm claims victory after a single shared access. The
+// adversary runs it, notices the winner's knowledge set S = UP(winner, 1)
+// has at most 4 < n processes, replays the (S,A)-run — which Lemma 5.2
+// guarantees the winner cannot distinguish from the full run — and exhibits
+// the specification violation: the winner announces "everyone is up" while
+// most processes never took a step.
+//
+// Run with: go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jayanti98/internal/core"
+	"jayanti98/internal/machine"
+	"jayanti98/internal/wakeup"
+)
+
+func main() {
+	const n = 64
+	fmt.Printf("running the cheating wakeup algorithm with n = %d processes...\n\n", n)
+
+	run, err := core.RunAll(wakeup.Cheater(), n, machine.ZeroTosses, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// In the full run the cheater *looks* fine: everyone stepped in round 1
+	// and the 1-returns happen in round 2.
+	fmt.Printf("full (All,A)-run: %d rounds, spec check: %v\n",
+		len(run.Rounds), core.CheckWakeupRun(run))
+
+	// But Theorem 6.1 says a correct winner needs ⌈log₄ n⌉ = %d steps.
+	fmt.Printf("theorem 6.1 check: %v\n\n", core.VerifyTheorem61(run))
+
+	catch, err := core.CatchFastWakeup(run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if catch == nil {
+		log.Fatal("expected the cheater to be caught")
+	}
+
+	fmt.Printf("caught: winner p%d returned 1 after %d step(s)\n", catch.Winner, catch.WinnerSteps)
+	fmt.Printf("its knowledge set S = UP(p%d, %d) = %s — only %d of %d processes\n",
+		catch.Winner, catch.WinnerSteps, catch.S, catch.S.Len(), n)
+	fmt.Printf("\nreplaying the (S,A)-run (Figure 3): only processes whose UP sets stay\n")
+	fmt.Printf("inside S are scheduled. Lemma 5.2 (machine-checked here) makes the two\n")
+	fmt.Printf("runs indistinguishable to p%d, so it returns 1 again...\n\n", catch.Winner)
+
+	fmt.Printf("(S,A)-run: p%d returned %v; %d processes never took a step: %v...\n",
+		catch.Winner, catch.Sub.Returns[catch.Winner],
+		len(catch.NeverStepped), catch.NeverStepped[:8])
+	fmt.Printf("\n=> the wakeup specification is violated (condition 3): the algorithm is wrong.\n")
+	fmt.Printf("   Any algorithm whose winner spends < log₄ n shared accesses is caught this way.\n")
+}

@@ -1,0 +1,69 @@
+// Fetchinc: the same oblivious universal construction code running on both
+// backends — the deterministic simulator under the paper's adversary, and
+// the concurrent LL/SC memory under real goroutines — and the cost gap
+// between the two constructions.
+//
+// Run with: go run ./examples/fetchinc
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"jayanti98/internal/core"
+	"jayanti98/internal/llsc"
+	"jayanti98/internal/machine"
+	"jayanti98/internal/objtype"
+	"jayanti98/internal/shmem"
+	"jayanti98/internal/universal"
+)
+
+const n = 16
+
+func main() {
+	typ := objtype.NewFetchIncrement(32)
+	gu := universal.NewGroupUpdate(typ, n, 0)
+	he := universal.NewHerlihy(typ, n, 0)
+
+	fmt.Println("== concurrent backend (llsc, real goroutines) ==")
+	for _, obj := range []universal.Construction{gu, he} {
+		mem := llsc.New(n)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		responses := make([]objtype.Value, n)
+		for pid := 0; pid < n; pid++ {
+			go func(pid int) {
+				defer wg.Done()
+				responses[pid] = obj.Invoke(mem.Handle(pid), objtype.Op{Name: objtype.OpFetchIncrement})
+			}(pid)
+		}
+		wg.Wait()
+		seen := make(map[objtype.Value]bool)
+		for _, v := range responses {
+			if seen[v] {
+				log.Fatalf("%s: duplicate counter value %v", obj.Name(), v)
+			}
+			seen[v] = true
+		}
+		fmt.Printf("%-13s %d goroutines incremented: %d distinct tickets, %d total shared accesses\n",
+			obj.Name(), n, len(seen), mem.TotalSteps())
+	}
+
+	fmt.Println("\n== simulator backend (adversary-forced worst case) ==")
+	for _, obj := range []universal.Construction{gu, he} {
+		alg := machine.New(obj.Name(), func(e *machine.Env) shmem.Value {
+			return obj.Invoke(e, objtype.Op{Name: objtype.OpFetchIncrement})
+		})
+		run, err := core.RunAll(alg, n, machine.ZeroTosses, core.Config{NoHistory: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxSteps, pid := run.MaxSteps()
+		fmt.Printf("%-13s worst op cost %d shared accesses (p%d), documented bound %d, Ω bound %d\n",
+			obj.Name(), maxSteps, pid, obj.StepBound(), core.Log4Ceil(n))
+	}
+
+	fmt.Println("\ngroup-update stays logarithmic; herlihy pays Θ(n) — and no oblivious")
+	fmt.Println("construction may beat ⌈log₄ n⌉ (Theorem 6.1 + Corollary 6.1).")
+}

@@ -1,0 +1,3 @@
+module jayanti98
+
+go 1.22

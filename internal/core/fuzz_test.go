@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jayanti98/internal/machine"
+	"jayanti98/internal/shmem"
+)
+
+// randomAlgorithm builds a deterministic but arbitrary-looking program:
+// each process performs `steps` operations over a small register file,
+// choosing the operation kind, registers and written values from a seeded
+// PRNG *mixed with everything it has observed so far* (acc). The
+// data-dependence is the point — if the (S,A)-run delivered even one
+// different response to a process, its subsequent operations would diverge
+// and the indistinguishability check would catch it.
+func randomAlgorithm(seed int64, steps, nregs int) machine.Algorithm {
+	name := fmt.Sprintf("fuzz(seed=%d,steps=%d,regs=%d)", seed, steps, nregs)
+	return machine.New(name, func(e *machine.Env) shmem.Value {
+		rng := rand.New(rand.NewSource(seed ^ int64(e.ID())*2654435761))
+		acc := int64(e.ID() + 1)
+		mix := func(v shmem.Value) {
+			if x, ok := v.(int64); ok {
+				acc = acc*1099511628211 + x
+			} else {
+				acc = acc*1099511628211 + 14695981039346656037>>1
+			}
+		}
+		reg := func() int {
+			r := int((rng.Int63() ^ acc) % int64(nregs))
+			if r < 0 {
+				r = -r
+			}
+			return r
+		}
+		for i := 0; i < steps; i++ {
+			switch (rng.Int63() ^ acc) % 13 {
+			case 0, 1, 2:
+				mix(e.LL(reg()))
+			case 3, 4:
+				ok, v := e.SC(reg(), acc%1000)
+				if ok {
+					acc++
+				}
+				mix(v)
+			case 5, 6:
+				ok, v := e.Validate(reg())
+				if ok {
+					acc += 7
+				}
+				mix(v)
+			case 7, 8:
+				mix(e.Swap(reg(), acc%1000))
+			case 9, 10:
+				e.Move(reg(), reg())
+			case 11:
+				acc = acc*31 + e.Toss()
+			default:
+				mix(e.LL(reg()))
+			}
+			if acc < 0 {
+				acc = -acc
+			}
+		}
+		return acc % 1000
+	})
+}
+
+// TestFuzzLemma51AndDeterminism runs random programs under the adversary
+// and checks the 4^r UP bound plus run determinism.
+func TestFuzzLemma51AndDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		alg := randomAlgorithm(seed, 3+rng.Intn(8), 1+rng.Intn(5))
+		ta := func(pid, j int) int64 { return (int64(pid)*7 + int64(j)*13 + seed) % 5 }
+		run1, err := RunAll(alg, n, ta, Config{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := CheckLemma51(run1); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		run2, err := RunAll(alg, n, ta, Config{})
+		if err != nil {
+			return false
+		}
+		// Determinism: identical returns and step counts.
+		for pid := 0; pid < n; pid++ {
+			if !shmem.ValuesEqual(run1.Returns[pid], run2.Returns[pid]) {
+				t.Logf("seed %d: p%d returns differ: %v vs %v", seed, pid, run1.Returns[pid], run2.Returns[pid])
+				return false
+			}
+			if run1.Steps[pid] != run2.Steps[pid] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzIndistinguishability is the big one: for random programs, random
+// toss assignments, and S = UP(p, final) for every process p, the
+// (S,A)-run must be indistinguishable from the (All,A)-run. This exercises
+// all twelve UP rules (the programs issue every op kind, including moves
+// scheduled by secretive schedules) and both run constructions.
+func TestFuzzIndistinguishability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		alg := randomAlgorithm(seed, 3+rng.Intn(7), 1+rng.Intn(4))
+		ta := func(pid, j int) int64 { return (int64(pid) + int64(j)*3 + seed) % 4 }
+		run, err := RunAll(alg, n, ta, Config{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for pid := 0; pid < n; pid++ {
+			s := run.FinalUPProc(pid).Clone()
+			sub, err := RunSub(run, s)
+			if err != nil {
+				t.Logf("seed %d p%d: %v", seed, pid, err)
+				return false
+			}
+			if err := CheckIndist(run, sub); err != nil {
+				t.Logf("seed %d p%d (S=%v): %v", seed, pid, s, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzSubsetsOfUnions checks indistinguishability for S built as the
+// union of several processes' knowledge — larger, non-singleton-derived
+// subsets exercise S_r transitions differently.
+func TestFuzzSubsetsOfUnions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		alg := randomAlgorithm(seed, 4+rng.Intn(5), 1+rng.Intn(3))
+		run, err := RunAll(alg, n, machine.ZeroTosses, Config{})
+		if err != nil {
+			return false
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		s := Union(run.FinalUPProc(a), run.FinalUPProc(b))
+		sub, err := RunSub(run, s)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := CheckIndist(run, sub); err != nil {
+			t.Logf("seed %d (S=%v): %v", seed, s, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzUPMonotone: UP sets never shrink round over round.
+func TestFuzzUPMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		alg := randomAlgorithm(seed, 3+rng.Intn(6), 1+rng.Intn(4))
+		run, err := RunAll(alg, n, machine.ZeroTosses, Config{})
+		if err != nil {
+			return false
+		}
+		for pid := 0; pid < n; pid++ {
+			prev := NewPidSet(pid)
+			for r := 1; r <= len(run.Rounds); r++ {
+				cur := run.UPProcAt(pid, r)
+				if !prev.SubsetOf(cur) {
+					t.Logf("seed %d: UP(p%d) shrank at round %d", seed, pid, r)
+					return false
+				}
+				if !cur.Contains(pid) {
+					return false
+				}
+				prev = cur
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// PidSet is a set of process identifiers, represented as a bitset. The UP
+// sets of Section 5.3 and the subset S of the (S,A)-run are PidSets; the
+// adversary clones and unions them for every process every round, so the
+// representation is chosen for O(n/64) bulk operations.
+//
+// The zero value... is not useful; construct with NewPidSet. PidSet values
+// stored in run records are treated as immutable — mutate only sets you
+// created or cloned.
+type PidSet struct {
+	words []uint64
+	count int
+}
+
+// NewPidSet builds a set from the given pids.
+func NewPidSet(pids ...int) PidSet {
+	var s PidSet
+	for _, p := range pids {
+		s.Add(p)
+	}
+	return s
+}
+
+// Add inserts pid (non-negative).
+func (s *PidSet) Add(pid int) {
+	w := pid >> 6
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	bit := uint64(1) << uint(pid&63)
+	if s.words[w]&bit == 0 {
+		s.words[w] |= bit
+		s.count++
+	}
+}
+
+// Contains reports membership.
+func (s PidSet) Contains(pid int) bool {
+	w := pid >> 6
+	return pid >= 0 && w < len(s.words) && s.words[w]&(uint64(1)<<uint(pid&63)) != 0
+}
+
+// Len returns the cardinality.
+func (s PidSet) Len() int { return s.count }
+
+// Clone returns an independent copy.
+func (s PidSet) Clone() PidSet {
+	return PidSet{words: append([]uint64(nil), s.words...), count: s.count}
+}
+
+// UnionWith adds every element of o to s (in place).
+func (s *PidSet) UnionWith(o PidSet) {
+	for len(s.words) < len(o.words) {
+		s.words = append(s.words, 0)
+	}
+	count := 0
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] |= o.words[i]
+		}
+		count += bits.OnesCount64(s.words[i])
+	}
+	s.count = count
+}
+
+// Union returns a fresh set containing the elements of all the given sets.
+func Union(sets ...PidSet) PidSet {
+	var out PidSet
+	for _, s := range sets {
+		out.UnionWith(s)
+	}
+	return out
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s PidSet) SubsetOf(o PidSet) bool {
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		if i >= len(o.words) || w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two sets have the same elements.
+func (s PidSet) Equal(o PidSet) bool {
+	return s.count == o.count && s.SubsetOf(o)
+}
+
+// Each calls f for every element in increasing order.
+func (s PidSet) Each(f func(pid int)) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(i<<6 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Sorted returns the elements in increasing order.
+func (s PidSet) Sorted() []int {
+	out := make([]int, 0, s.count)
+	s.Each(func(pid int) { out = append(out, pid) })
+	return out
+}
+
+// String renders the set as {p0, p3, ...}.
+func (s PidSet) String() string {
+	parts := make([]string, 0, s.count)
+	s.Each(func(p int) { parts = append(parts, fmt.Sprintf("p%d", p)) })
+	return "{" + strings.Join(parts, ", ") + "}"
+}

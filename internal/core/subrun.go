@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"jayanti98/internal/machine"
+	"jayanti98/internal/moveplan"
+	"jayanti98/internal/shmem"
+)
+
+// SubRun is an (S,A)-run (Figure 3): a replay of the adversary schedule in
+// which only processes that — in the (All,A)-run — never gathered evidence
+// of a process outside S take steps. Round r schedules exactly
+// S_r = { p | UP(p, r−1) ⊆ S }, partitions them into the same four groups,
+// and orders the move group by the restriction of the all-run's σ_r
+// (well defined by Claim A.3: S_{2,r} ⊆ G_{2,r}).
+type SubRun struct {
+	// All is the (All,A)-run this sub-run shadows.
+	All *AllRun
+	// S is the process subset.
+	S PidSet
+	// Rounds holds one record per round, aligned 1:1 with All.Rounds.
+	// UPProc/UPReg are nil here — UP sets are defined on the all-run.
+	Rounds []*Round
+	// Returns maps each terminated pid to its return value.
+	Returns map[int]shmem.Value
+	// Steps maps each pid to its total shared-access step count.
+	Steps map[int]int
+}
+
+// Participants returns S_r for 1 ≤ r ≤ len(All.Rounds): the processes
+// scheduled in round r of the sub-run.
+func (s *SubRun) Participants(r int) PidSet {
+	out := NewPidSet()
+	for pid := 0; pid < s.All.N; pid++ {
+		if s.All.UPProcAt(pid, r-1).SubsetOf(s.S) {
+			out.Add(pid)
+		}
+	}
+	return out
+}
+
+// RunSub executes the (S,A)-run corresponding to all, for exactly as many
+// rounds as the all-run executed. The same toss assignment A supplies coin
+// outcomes, so the j-th toss of p matches across the two runs.
+func RunSub(all *AllRun, s PidSet) (*SubRun, error) {
+	if all.NoHistory {
+		return nil, fmt.Errorf("core: (S,A)-run requires an (All,A)-run executed with history (Config.NoHistory unset)")
+	}
+	var opts []shmem.Option
+	if all.MemInit != nil {
+		opts = append(opts, shmem.WithInit(all.MemInit))
+	}
+	mem := shmem.New(opts...)
+	ms := machine.StartAll(all.Alg, all.N)
+	defer machine.CloseAll(ms)
+
+	sub := &SubRun{
+		All:     all,
+		S:       s,
+		Returns: make(map[int]shmem.Value, all.N),
+		Steps:   make(map[int]int, all.N),
+	}
+
+	for r := 1; r <= len(all.Rounds); r++ {
+		round := &Round{
+			R:         r,
+			Returned:  make(map[int]shmem.Value),
+			MovePlan:  make(moveplan.Plan),
+			StateKeys: make(map[int]string, all.N),
+			NumTosses: make(map[int]int, all.N),
+		}
+		sr := sub.Participants(r)
+
+		// Phase 1 over S_r only.
+		live, err := phase1(ms, &sr, all.TA, round, sub.Returns)
+		if err != nil {
+			return sub, fmt.Errorf("(S,A)-run: %w", err)
+		}
+		if len(live) > 0 {
+			partition(ms, live, round)
+			// Claim A.3: every mover here also moved in the all-run, so the
+			// all-run's σ_r restricted to this round's move group is a
+			// complete schedule for it. A process moving here but not in
+			// the all-run would witness a divergence — surface it.
+			allSigma := all.Rounds[r-1].Sigma
+			keep := make(map[int]bool, len(round.Groups[1]))
+			for _, pid := range round.Groups[1] {
+				if _, ok := all.Rounds[r-1].MovePlan[pid]; !ok {
+					return sub, fmt.Errorf("(S,A)-run: process %d moves in round %d of the sub-run but not in the all-run (Claim A.3 violated)", pid, r)
+				}
+				keep[pid] = true
+			}
+			round.Sigma = allSigma.Restrict(keep)
+			round.Groups[1] = []int(round.Sigma)
+			execRound(mem, ms, round, sub.Steps)
+		}
+
+		round.MemSnap = mem.Snapshot()
+		for _, m := range ms {
+			round.StateKeys[m.ID()] = m.HistoryKey()
+			round.NumTosses[m.ID()] = m.NumTosses()
+		}
+		sub.Rounds = append(sub.Rounds, round)
+	}
+	return sub, nil
+}
+
+// IndistError reports a violation of the Indistinguishability Lemma.
+type IndistError struct {
+	Round  int
+	What   string // "process" or "register"
+	Index  int    // pid or register index
+	Detail string
+}
+
+// Error implements error.
+func (e *IndistError) Error() string {
+	return fmt.Sprintf("core: indistinguishability violated at round %d for %s %d: %s",
+		e.Round, e.What, e.Index, e.Detail)
+}
+
+// CheckIndist verifies the Indistinguishability Lemma (Lemma 5.2) between
+// all and sub at every recorded round r:
+//
+//   - for every process p with UP(p,r) ⊆ S: state(p,r) and numtosses(p,r)
+//     agree across the two runs (state equality is checked operationally as
+//     history-key equality, which is sufficient);
+//   - for every register R with UP(R,r) ⊆ S: val(R,r) agrees, and for every
+//     process p with UP(p,r) ⊆ S, p ∈ Pset(R,r) in the all-run iff it is in
+//     the sub-run.
+//
+// It returns the first violation found, or nil.
+func CheckIndist(all *AllRun, sub *SubRun) error {
+	for i := range all.Rounds {
+		r := i + 1
+		aRound, sRound := all.Rounds[i], sub.Rounds[i]
+
+		inS := NewPidSet()
+		for pid := 0; pid < all.N; pid++ {
+			if all.UPProcAt(pid, r).SubsetOf(sub.S) {
+				inS.Add(pid)
+			}
+		}
+
+		var procErr *IndistError
+		inS.Each(func(pid int) {
+			if procErr != nil {
+				return
+			}
+			if aRound.StateKeys[pid] != sRound.StateKeys[pid] {
+				procErr = &IndistError{Round: r, What: "process", Index: pid,
+					Detail: fmt.Sprintf("state diverged:\n  all: %s\n  sub: %s",
+						aRound.StateKeys[pid], sRound.StateKeys[pid])}
+				return
+			}
+			if aRound.NumTosses[pid] != sRound.NumTosses[pid] {
+				procErr = &IndistError{Round: r, What: "process", Index: pid,
+					Detail: fmt.Sprintf("numtosses %d vs %d", aRound.NumTosses[pid], sRound.NumTosses[pid])}
+			}
+		})
+		if procErr != nil {
+			return procErr
+		}
+
+		for _, reg := range unionRegs(aRound.MemSnap, sRound.MemSnap) {
+			if !all.UPRegAt(reg, r).SubsetOf(sub.S) {
+				continue
+			}
+			av, aok := aRound.MemSnap[reg]
+			sv, sok := sRound.MemSnap[reg]
+			if !aok {
+				av = shmem.RegState{Val: initVal(all, reg)}
+			}
+			if !sok {
+				sv = shmem.RegState{Val: initVal(all, reg)}
+			}
+			if !shmem.ValuesEqual(av.Val, sv.Val) {
+				return &IndistError{Round: r, What: "register", Index: reg,
+					Detail: fmt.Sprintf("value %v vs %v", av.Val, sv.Val)}
+			}
+			aPset, sPset := NewPidSet(av.Pset...), NewPidSet(sv.Pset...)
+			var psetErr *IndistError
+			inS.Each(func(pid int) {
+				if psetErr == nil && aPset.Contains(pid) != sPset.Contains(pid) {
+					psetErr = &IndistError{Round: r, What: "register", Index: reg,
+						Detail: fmt.Sprintf("Pset membership of p%d: %t vs %t",
+							pid, aPset.Contains(pid), sPset.Contains(pid))}
+				}
+			})
+			if psetErr != nil {
+				return psetErr
+			}
+		}
+	}
+	return nil
+}
+
+func initVal(all *AllRun, reg int) shmem.Value {
+	if all.MemInit == nil {
+		return nil
+	}
+	return all.MemInit(reg)
+}
+
+func unionRegs(a, b map[int]shmem.RegState) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var regs []int
+	for reg := range a {
+		if !seen[reg] {
+			seen[reg] = true
+			regs = append(regs, reg)
+		}
+	}
+	for reg := range b {
+		if !seen[reg] {
+			seen[reg] = true
+			regs = append(regs, reg)
+		}
+	}
+	return regs
+}

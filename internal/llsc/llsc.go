@@ -1,0 +1,205 @@
+// Package llsc provides a concurrent, linearizable implementation of the
+// paper's shared memory (LL, SC, validate, swap, move on an unbounded
+// register file) that real goroutines can share.
+//
+// Package shmem is the single-threaded simulator that the lower-bound
+// machinery drives step by step; this package is its concurrent twin. Each
+// process obtains a Handle bound to its process id; Handle implements
+// machine.Port, so the universal constructions of package universal run
+// unchanged on either backend — the "mimic the construction with
+// goroutines" side of the reproduction.
+//
+// Every operation takes a single short critical section guarded by one
+// mutex, which makes each operation atomic (trivially linearizable, with
+// the critical section as the linearization point). Per-process step
+// counters are maintained so concurrent experiments can report
+// shared-access costs the same way the simulator does.
+package llsc
+
+import (
+	"fmt"
+	"sync"
+
+	"jayanti98/internal/machine"
+	"jayanti98/internal/shmem"
+)
+
+type register struct {
+	val  shmem.Value
+	pset map[int]struct{}
+}
+
+// Memory is a concurrent shared memory for n processes. All methods are
+// safe for concurrent use.
+type Memory struct {
+	n  int
+	mu sync.Mutex
+	// regs is the lazily allocated unbounded register file.
+	regs map[int]*register
+	// steps counts shared accesses per pid.
+	steps map[int]int64
+	// initVal optionally initializes registers on first touch.
+	initVal func(reg int) shmem.Value
+}
+
+// Option configures a Memory.
+type Option func(*Memory)
+
+// WithInit sets the initial value of every register as a pure function of
+// its index (default: nil).
+func WithInit(f func(reg int) shmem.Value) Option {
+	return func(m *Memory) { m.initVal = f }
+}
+
+// New creates a concurrent shared memory for n processes.
+func New(n int, opts ...Option) *Memory {
+	m := &Memory{
+		n:     n,
+		regs:  make(map[int]*register),
+		steps: make(map[int]int64),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// N returns the number of processes the memory was created for.
+func (m *Memory) N() int { return m.n }
+
+func (m *Memory) reg(i int) *register {
+	r, ok := m.regs[i]
+	if !ok {
+		r = &register{pset: make(map[int]struct{})}
+		if m.initVal != nil {
+			r.val = m.initVal(i)
+		}
+		m.regs[i] = r
+	}
+	return r
+}
+
+// Handle returns the port of process pid. Handles are lightweight; any
+// number may be created. A handle must only be used by one goroutine at a
+// time (per the model, a process is sequential), but distinct handles may
+// be used concurrently.
+func (m *Memory) Handle(pid int) *Handle {
+	if pid < 0 || pid >= m.n {
+		panic(fmt.Sprintf("llsc: pid %d out of range [0,%d)", pid, m.n))
+	}
+	return &Handle{mem: m, pid: pid}
+}
+
+// Steps returns pid's shared-access step count.
+func (m *Memory) Steps(pid int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.steps[pid]
+}
+
+// TotalSteps returns the total shared-access step count.
+func (m *Memory) TotalSteps() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, s := range m.steps {
+		total += s
+	}
+	return total
+}
+
+// ReadQuiesced returns the value of register i without charging a step.
+// It is intended for inspection after the concurrent workload has
+// quiesced; it still takes the lock, so it is safe at any time.
+func (m *Memory) ReadQuiesced(i int) shmem.Value {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg(i).val
+}
+
+// Handle is one process's port to the memory. It implements machine.Port.
+type Handle struct {
+	mem *Memory
+	pid int
+}
+
+var _ machine.Port = (*Handle)(nil)
+
+// ID implements machine.Port.
+func (h *Handle) ID() int { return h.pid }
+
+// N implements machine.Port.
+func (h *Handle) N() int { return h.mem.n }
+
+// LL implements machine.Port.
+func (h *Handle) LL(reg int) shmem.Value {
+	m := h.mem
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.steps[h.pid]++
+	r := m.reg(reg)
+	r.pset[h.pid] = struct{}{}
+	return r.val
+}
+
+// SC implements machine.Port.
+func (h *Handle) SC(reg int, v shmem.Value) (bool, shmem.Value) {
+	m := h.mem
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.steps[h.pid]++
+	r := m.reg(reg)
+	prev := r.val
+	if _, linked := r.pset[h.pid]; linked {
+		r.val = v
+		r.pset = make(map[int]struct{})
+		return true, prev
+	}
+	return false, prev
+}
+
+// Validate implements machine.Port.
+func (h *Handle) Validate(reg int) (bool, shmem.Value) {
+	m := h.mem
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.steps[h.pid]++
+	r := m.reg(reg)
+	_, linked := r.pset[h.pid]
+	return linked, r.val
+}
+
+// Read implements machine.Port (a validate with the boolean dropped).
+func (h *Handle) Read(reg int) shmem.Value {
+	_, v := h.Validate(reg)
+	return v
+}
+
+// Swap implements machine.Port.
+func (h *Handle) Swap(reg int, v shmem.Value) shmem.Value {
+	m := h.mem
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.steps[h.pid]++
+	r := m.reg(reg)
+	prev := r.val
+	r.val = v
+	r.pset = make(map[int]struct{})
+	return prev
+}
+
+// Move implements machine.Port. A self-move is a complete no-op (see
+// shmem.Memory.Apply).
+func (h *Handle) Move(src, dst int) {
+	m := h.mem
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.steps[h.pid]++
+	if src == dst {
+		return
+	}
+	s := m.reg(src)
+	d := m.reg(dst)
+	d.val = s.val
+	d.pset = make(map[int]struct{})
+}

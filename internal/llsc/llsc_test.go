@@ -1,0 +1,206 @@
+package llsc
+
+import (
+	"sync"
+	"testing"
+
+	"jayanti98/internal/objtype"
+	"jayanti98/internal/shmem"
+	"jayanti98/internal/universal"
+)
+
+func TestBasicSemanticsMatchSimulator(t *testing.T) {
+	m := New(2)
+	h0, h1 := m.Handle(0), m.Handle(1)
+
+	if v := h0.LL(0); v != nil {
+		t.Fatalf("LL fresh = %v", v)
+	}
+	if ok, prev := h0.SC(0, "a"); !ok || prev != nil {
+		t.Fatalf("SC after LL = (%t, %v)", ok, prev)
+	}
+	if ok, prev := h1.SC(0, "b"); ok || prev != "a" {
+		t.Fatalf("SC without LL = (%t, %v)", ok, prev)
+	}
+	h1.LL(0)
+	h0.Swap(0, "c")
+	if ok, _ := h1.SC(0, "d"); ok {
+		t.Fatal("swap must invalidate links")
+	}
+	if ok, v := h1.Validate(0); ok || v != "c" {
+		t.Fatalf("validate = (%t, %v)", ok, v)
+	}
+	h0.Swap(5, "src")
+	h1.Move(5, 6)
+	if v := h0.Read(6); v != "src" {
+		t.Fatalf("move: R6 = %v", v)
+	}
+	if v := h0.Read(5); v != "src" {
+		t.Fatalf("move must leave source: R5 = %v", v)
+	}
+}
+
+func TestWithInit(t *testing.T) {
+	m := New(1, WithInit(func(reg int) shmem.Value { return reg }))
+	if v := m.Handle(0).Read(42); v != 42 {
+		t.Fatalf("init value = %v", v)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	m := New(2)
+	h := m.Handle(1)
+	h.LL(0)
+	h.SC(0, 1)
+	h.Read(0)
+	if got := m.Steps(1); got != 3 {
+		t.Fatalf("Steps(1) = %d, want 3", got)
+	}
+	if got := m.TotalSteps(); got != 3 {
+		t.Fatalf("TotalSteps = %d, want 3", got)
+	}
+	if m.ReadQuiesced(0) != 1 {
+		t.Fatal("ReadQuiesced wrong")
+	}
+	if got := m.TotalSteps(); got != 3 {
+		t.Fatal("ReadQuiesced must not charge steps")
+	}
+}
+
+func TestHandleOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range pid must panic")
+		}
+	}()
+	New(2).Handle(2)
+}
+
+func TestConcurrentSCAtMostOneWinnerPerLink(t *testing.T) {
+	// All goroutines LL the same register, then all attempt SC: exactly
+	// one must win (they all hold links from before any write).
+	const n = 16
+	m := New(n)
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+	wins := make(chan int, n)
+	ready.Add(n)
+	done.Add(n)
+	for pid := 0; pid < n; pid++ {
+		go func(pid int) {
+			defer done.Done()
+			h := m.Handle(pid)
+			h.LL(0)
+			ready.Done()
+			<-start
+			if ok, _ := h.SC(0, pid); ok {
+				wins <- pid
+			}
+		}(pid)
+	}
+	ready.Wait()
+	close(start)
+	done.Wait()
+	close(wins)
+	count := 0
+	for range wins {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("%d successful SCs, want exactly 1", count)
+	}
+}
+
+// TestConcurrentFetchIncrementAllConstructions is the concurrency
+// flagship: G real goroutines share a fetch&increment object through each
+// universal construction; the responses must be a permutation of 0..G−1
+// (linearizability) under -race.
+func TestConcurrentFetchIncrementAllConstructions(t *testing.T) {
+	const n = 12
+	typ := objtype.NewFetchIncrement(16)
+	for _, mk := range []func() universal.Construction{
+		func() universal.Construction { return universal.NewGroupUpdate(typ, n, 0) },
+		func() universal.Construction { return universal.NewHerlihy(typ, n, 0) },
+		func() universal.Construction { return universal.NewCentral(typ, n, 0) },
+	} {
+		obj := mk()
+		m := New(n)
+		results := make([]objtype.Value, n)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for pid := 0; pid < n; pid++ {
+			go func(pid int) {
+				defer wg.Done()
+				results[pid] = obj.Invoke(m.Handle(pid), objtype.Op{Name: objtype.OpFetchIncrement})
+			}(pid)
+		}
+		wg.Wait()
+		seen := make(map[objtype.Value]bool, n)
+		for pid, v := range results {
+			if seen[v] {
+				t.Fatalf("%s: duplicate response %v (p%d)", obj.Name(), v, pid)
+			}
+			seen[v] = true
+		}
+		for i := 0; i < n; i++ {
+			if !seen[objtype.HexUint(uint64(i))] {
+				t.Fatalf("%s: missing response %d", obj.Name(), i)
+			}
+		}
+	}
+}
+
+func TestConcurrentQueueNoLossNoDuplication(t *testing.T) {
+	const n = 10
+	obj := universal.NewGroupUpdate(objtype.NewEmptyQueue(), n, 0)
+	m := New(n)
+	popped := make([]objtype.Value, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for pid := 0; pid < n; pid++ {
+		go func(pid int) {
+			defer wg.Done()
+			h := m.Handle(pid)
+			obj.Invoke(h, objtype.Op{Name: objtype.OpEnqueue, Arg: pid})
+			popped[pid] = obj.Invoke(h, objtype.Op{Name: objtype.OpDequeue})
+		}(pid)
+	}
+	wg.Wait()
+	seen := make(map[objtype.Value]bool)
+	for pid, v := range popped {
+		if v == objtype.Empty {
+			continue
+		}
+		if seen[v] {
+			t.Fatalf("item %v dequeued twice (p%d)", v, pid)
+		}
+		seen[v] = true
+	}
+}
+
+func TestConcurrentStepBoundHolds(t *testing.T) {
+	// Wait-freedom is per-operation: even under real concurrency no
+	// invocation may exceed the documented bound.
+	const n = 8
+	typ := objtype.NewFetchIncrement(16)
+	obj := universal.NewGroupUpdate(typ, n, 0)
+	m := New(n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	excess := make(chan int64, n)
+	for pid := 0; pid < n; pid++ {
+		go func(pid int) {
+			defer wg.Done()
+			before := m.Steps(pid)
+			obj.Invoke(m.Handle(pid), objtype.Op{Name: objtype.OpFetchIncrement})
+			if used := m.Steps(pid) - before; used > int64(obj.StepBound()) {
+				excess <- used
+			}
+		}(pid)
+	}
+	wg.Wait()
+	close(excess)
+	for e := range excess {
+		t.Fatalf("an invocation used %d steps, above the bound %d", e, obj.StepBound())
+	}
+}

@@ -1,0 +1,312 @@
+// Package lowerbound is the experiment harness: it runs the adversary of
+// package core against wakeup algorithms and object implementations,
+// measures forced shared-access step counts, validates every checkable
+// lemma and theorem of the paper, and aggregates sweeps over n into the
+// tables reported in EXPERIMENTS.md.
+//
+// Experiment map (see DESIGN.md §3):
+//
+//	E1  MeasureWakeup / SweepWakeup       — Theorem 6.1 bound per run
+//	E2  ExpectedComplexity                — randomized bound (Lemma 3.1)
+//	E3  SweepReduction                    — Theorem 6.2 per-type bounds
+//	E4  MeasureWakeup (UPGrowthOK)        — Lemma 5.1
+//	E5  VerifyIndistinguishability        — Lemma 5.2
+//	E6  core.CatchFastWakeup              — proof mechanics on a cheater
+//	E7  SweepConstruction (group-update)  — tightness: O(log n)
+//	E8  SweepConstruction (herlihy)       — baseline: Θ(n)
+//	E9  MoveScheduleComparison            — Section 4 motivation
+//	E10 RMWUnitTime                       — Section 7 observation
+package lowerbound
+
+import (
+	"fmt"
+
+	"jayanti98/internal/core"
+	"jayanti98/internal/machine"
+	"jayanti98/internal/objtype"
+	"jayanti98/internal/shmem"
+	"jayanti98/internal/stats"
+	"jayanti98/internal/universal"
+	"jayanti98/internal/wakeup"
+)
+
+// HashTosses returns a deterministic pseudo-random toss assignment keyed by
+// seed (a splitmix64-style hash of (seed, pid, j)). Different seeds give
+// independent-looking assignments; the same seed always gives the same
+// assignment, so experiments are reproducible.
+func HashTosses(seed int64) machine.TossAssignment {
+	return func(pid, j int) int64 {
+		z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(pid+1)*0xbf58476d1ce4e5b9 + uint64(j+1)*0x94d049bb133111eb
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		return int64(z >> 1)
+	}
+}
+
+// WakeupResult is one adversary run of a wakeup algorithm, with every
+// check the paper's Section 5–6 machinery provides.
+type WakeupResult struct {
+	Algorithm string
+	N         int
+	// Rounds the run took.
+	Rounds int
+	// MaxSteps is t(R): the worst per-process shared-access count.
+	MaxSteps int
+	// WinnerSteps is the fewest steps over processes that returned 1 —
+	// the quantity Theorem 6.1 lower-bounds.
+	WinnerSteps int
+	// Bound is ⌈log₄ n⌉.
+	Bound int
+	// TotalSteps across all processes.
+	TotalSteps int
+	// SpecErr, Lemma51Err, Theorem61Err record check failures (nil = ok).
+	SpecErr      error
+	Lemma51Err   error
+	Theorem61Err error
+}
+
+// OK reports whether every check passed.
+func (r WakeupResult) OK() bool {
+	return r.SpecErr == nil && r.Lemma51Err == nil && r.Theorem61Err == nil
+}
+
+// MeasureWakeup runs alg for n processes under the adversary with toss
+// assignment ta and returns the measurements and check outcomes.
+func MeasureWakeup(alg machine.Algorithm, n int, ta machine.TossAssignment) (WakeupResult, error) {
+	run, err := core.RunAll(alg, n, ta, core.Config{NoHistory: true})
+	if err != nil {
+		return WakeupResult{}, fmt.Errorf("lowerbound: %s n=%d: %w", alg.Name(), n, err)
+	}
+	res := WakeupResult{
+		Algorithm:    alg.Name(),
+		N:            n,
+		Rounds:       len(run.Rounds),
+		Bound:        core.Log4Ceil(n),
+		SpecErr:      core.CheckWakeupRun(run),
+		Lemma51Err:   core.CheckLemma51(run),
+		Theorem61Err: core.VerifyTheorem61(run),
+	}
+	res.MaxSteps, _ = run.MaxSteps()
+	for pid, steps := range run.Steps {
+		res.TotalSteps += steps
+		_ = pid
+	}
+	winners := core.WakeupWinners(run.Returns)
+	res.WinnerSteps = -1
+	for _, w := range winners {
+		if res.WinnerSteps < 0 || run.Steps[w] < res.WinnerSteps {
+			res.WinnerSteps = run.Steps[w]
+		}
+	}
+	return res, nil
+}
+
+// SweepWakeup measures mk(n) for each n in ns (E1/E3 sweeps).
+func SweepWakeup(mk func(n int) machine.Algorithm, ns []int, ta machine.TossAssignment) ([]WakeupResult, error) {
+	out := make([]WakeupResult, 0, len(ns))
+	for _, n := range ns {
+		r, err := MeasureWakeup(mk(n), n, ta)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExpectedResult is a Monte-Carlo estimate of the expected shared-access
+// complexity of a randomized wakeup algorithm against the adversary
+// (E2, the randomized form of Theorem 6.1 via Lemma 3.1 with c = 1).
+type ExpectedResult struct {
+	Algorithm string
+	N         int
+	Samples   int
+	// Winner summarizes the winner's steps across toss assignments.
+	Winner stats.Summary
+	// Max summarizes t(R) across toss assignments.
+	Max stats.Summary
+	// Bound is ⌈log₄ n⌉; the theorem asserts E[winner steps] ≥ c·log₄ n.
+	Bound int
+	// Failures counts runs whose checks failed.
+	Failures int
+}
+
+// ExpectedComplexity estimates the expected complexity of mk(n) over
+// `samples` pseudo-random toss assignments derived from seed.
+func ExpectedComplexity(mk func(n int) machine.Algorithm, n, samples int, seed int64) (ExpectedResult, error) {
+	winner := make([]float64, 0, samples)
+	maxs := make([]float64, 0, samples)
+	res := ExpectedResult{N: n, Samples: samples, Bound: core.Log4Ceil(n)}
+	for i := 0; i < samples; i++ {
+		alg := mk(n)
+		res.Algorithm = alg.Name()
+		r, err := MeasureWakeup(alg, n, HashTosses(seed+int64(i)))
+		if err != nil {
+			return res, err
+		}
+		if !r.OK() {
+			res.Failures++
+		}
+		winner = append(winner, float64(r.WinnerSteps))
+		maxs = append(maxs, float64(r.MaxSteps))
+	}
+	res.Winner = stats.Summarize(winner)
+	res.Max = stats.Summarize(maxs)
+	return res, nil
+}
+
+// VerifyIndistinguishability checks Lemma 5.2 (E5) on one adversary run:
+// for every process p, with S = UP(p, steps(p)), the (S,A)-run is
+// indistinguishable from the (All,A)-run. Returns the number of subsets
+// checked and the first violation, if any.
+func VerifyIndistinguishability(alg machine.Algorithm, n int, ta machine.TossAssignment) (int, error) {
+	run, err := core.RunAll(alg, n, ta, core.Config{})
+	if err != nil {
+		return 0, err
+	}
+	checked := 0
+	for pid := 0; pid < n; pid++ {
+		s := run.UPProcAt(pid, run.Steps[pid]).Clone()
+		sub, err := core.RunSub(run, s)
+		if err != nil {
+			return checked, fmt.Errorf("lowerbound: p%d: %w", pid, err)
+		}
+		if err := core.CheckIndist(run, sub); err != nil {
+			return checked, fmt.Errorf("lowerbound: p%d (S=%v): %w", pid, s, err)
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// GroupUpdateClient adapts a universal construction into the ObjectClient
+// the Theorem 6.2 reductions expect.
+type constructionClient struct {
+	obj universal.Construction
+}
+
+// Invoke implements wakeup.ObjectClient.
+func (c constructionClient) Invoke(p machine.Port, op objtype.Op) objtype.Value {
+	return c.obj.Invoke(p, op)
+}
+
+// BuildReduction assembles the wakeup algorithm of a Theorem 6.2 reduction
+// over an object implemented by the named construction ("group-update",
+// "herlihy", or "central").
+func BuildReduction(spec wakeup.ReductionSpec, construction string, n int) (machine.Algorithm, universal.Construction, error) {
+	typ := spec.Type(n)
+	var obj universal.Construction
+	switch construction {
+	case "group-update":
+		obj = universal.NewGroupUpdate(typ, n, 0)
+	case "herlihy":
+		obj = universal.NewHerlihy(typ, n, 0)
+	case "central":
+		obj = universal.NewCentral(typ, n, 0)
+	default:
+		return nil, nil, fmt.Errorf("lowerbound: unknown construction %q", construction)
+	}
+	return spec.Build(constructionClient{obj}), obj, nil
+}
+
+// ReductionResult is one measurement of a Theorem 6.2 reduction (E3).
+type ReductionResult struct {
+	WakeupResult
+	// Type is the implemented object type.
+	Type string
+	// Construction implements the object.
+	Construction string
+	// OpsPerProcess is the reduction's object-operation budget.
+	OpsPerProcess int
+	// PerOpBound is the per-operation lower bound implied by Corollary
+	// 6.1: ⌈log₄ n⌉ / OpsPerProcess (integer floor of the winner's budget
+	// split across its object operations).
+	PerOpBound int
+}
+
+// SweepReduction measures one reduction over a construction for each n.
+func SweepReduction(spec wakeup.ReductionSpec, construction string, ns []int, ta machine.TossAssignment) ([]ReductionResult, error) {
+	out := make([]ReductionResult, 0, len(ns))
+	for _, n := range ns {
+		alg, obj, err := BuildReduction(spec, construction, n)
+		if err != nil {
+			return out, err
+		}
+		wr, err := MeasureWakeup(alg, n, ta)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ReductionResult{
+			WakeupResult:  wr,
+			Type:          obj.Type().Name(),
+			Construction:  construction,
+			OpsPerProcess: spec.OpsPerProcess,
+			PerOpBound:    core.Log4Ceil(n) / spec.OpsPerProcess,
+		})
+	}
+	return out, nil
+}
+
+// ConstructionResult is one measurement of a universal construction's
+// worst-case per-operation cost under the adversary (E7/E8).
+type ConstructionResult struct {
+	Construction string
+	Type         string
+	N            int
+	// MaxSteps is the adversary-forced worst per-process step count for a
+	// single operation.
+	MaxSteps int
+	// StepBound is the construction's documented worst case (0 if not
+	// wait-free).
+	StepBound int
+	// LowerBound is ⌈log₄ n⌉ — no oblivious construction can beat it.
+	LowerBound int
+}
+
+// MeasureConstruction runs one op per process on the construction under
+// the adversary and reports the forced worst-case per-op cost.
+func MeasureConstruction(mk func(n int) universal.Construction, op func(n, pid int) objtype.Op, n int) (ConstructionResult, error) {
+	obj := mk(n)
+	alg := machine.New(obj.Name(), func(e *machine.Env) shmem.Value {
+		return obj.Invoke(e, op(n, e.ID()))
+	})
+	run, err := core.RunAll(alg, n, machine.ZeroTosses, core.Config{NoHistory: true})
+	if err != nil {
+		return ConstructionResult{}, fmt.Errorf("lowerbound: %s n=%d: %w", obj.Name(), n, err)
+	}
+	maxSteps, _ := run.MaxSteps()
+	return ConstructionResult{
+		Construction: obj.Name(),
+		Type:         obj.Type().Name(),
+		N:            n,
+		MaxSteps:     maxSteps,
+		StepBound:    obj.StepBound(),
+		LowerBound:   core.Log4Ceil(n),
+	}, nil
+}
+
+// SweepConstruction measures the construction across ns and classifies the
+// growth of its forced cost.
+func SweepConstruction(mk func(n int) universal.Construction, op func(n, pid int) objtype.Op, ns []int) ([]ConstructionResult, stats.Growth, error) {
+	out := make([]ConstructionResult, 0, len(ns))
+	ys := make([]float64, 0, len(ns))
+	for _, n := range ns {
+		r, err := MeasureConstruction(mk, op, n)
+		if err != nil {
+			return out, "", err
+		}
+		out = append(out, r)
+		ys = append(ys, float64(r.MaxSteps))
+	}
+	growth := stats.Growth("")
+	if len(ns) >= 3 {
+		growth, _, _ = stats.ClassifyGrowth(ns, ys)
+	}
+	return out, growth, nil
+}
+
+// FetchIncOp is the op generator for fetch&increment sweeps.
+func FetchIncOp(n, pid int) objtype.Op { return objtype.Op{Name: objtype.OpFetchIncrement} }

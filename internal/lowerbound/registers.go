@@ -1,0 +1,76 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"jayanti98/internal/core"
+	"jayanti98/internal/machine"
+	"jayanti98/internal/objtype"
+	"jayanti98/internal/sched"
+	"jayanti98/internal/shmem"
+	"jayanti98/internal/universal"
+	"jayanti98/internal/wakeup"
+)
+
+// WidthResult profiles the register footprint of one counter
+// implementation under maximal lockstep contention (E12): the worst
+// per-process shared-access cost of a single counter draw and the widest
+// register value the implementation ever wrote. The paper's Section 7
+// explains why this axis matters: the Ω(log n) bound is tight only with
+// unbounded registers, and the implementations below occupy very different
+// points on the (steps, register width) plane.
+type WidthResult struct {
+	Implementation string
+	N              int
+	// MaxStepsPerOp is the worst per-process shared-access cost.
+	MaxStepsPerOp int
+	// MaxRegisterBits is the widest value written (shmem.ApproxBits).
+	MaxRegisterBits int
+	// Linearizable records whether the implementation is linearizable
+	// (the counting network is only quiescently consistent).
+	Linearizable bool
+	// LowerBound is ⌈log₄ n⌉.
+	LowerBound int
+}
+
+// RegisterWidthProfile measures, for one n, a fetch&increment-style draw
+// through the group-update construction, the Herlihy construction, and
+// the bitonic counting network, under the lockstep round-robin schedule
+// (one draw per process).
+func RegisterWidthProfile(n int) ([]WidthResult, error) {
+	type impl struct {
+		name         string
+		alg          machine.Algorithm
+		linearizable bool
+	}
+	typ := objtype.NewFetchIncrement(64)
+	gu := universal.NewGroupUpdate(typ, n, 0)
+	he := universal.NewHerlihy(typ, n, 0)
+	nw := wakeup.CountingNetwork(n)
+	impls := []impl{
+		{"group-update", machine.New(gu.Name(), func(e *machine.Env) shmem.Value {
+			return gu.Invoke(e, objtype.Op{Name: objtype.OpFetchIncrement})
+		}), true},
+		{"herlihy", machine.New(he.Name(), func(e *machine.Env) shmem.Value {
+			return he.Invoke(e, objtype.Op{Name: objtype.OpFetchIncrement})
+		}), true},
+		{"counting-network", nw, false},
+	}
+	out := make([]WidthResult, 0, len(impls))
+	for _, im := range impls {
+		mem := shmem.New(shmem.WithBitTracking())
+		res, err := sched.Execute(im.alg, n, mem, &sched.RoundRobin{}, machine.ZeroTosses, 100_000_000)
+		if err != nil {
+			return out, fmt.Errorf("lowerbound: width profile %s n=%d: %w", im.name, n, err)
+		}
+		out = append(out, WidthResult{
+			Implementation:  im.name,
+			N:               n,
+			MaxStepsPerOp:   res.MaxSteps,
+			MaxRegisterBits: mem.MaxRegisterBits(),
+			Linearizable:    im.linearizable,
+			LowerBound:      core.Log4Ceil(n),
+		})
+	}
+	return out, nil
+}

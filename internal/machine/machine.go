@@ -1,0 +1,424 @@
+// Package machine implements the process model of Section 3 of the paper.
+//
+// A process is a state machine whose next step is either (1) a local coin
+// toss, whose outcome is drawn from COIN-RANGE, or (2) an operation on
+// shared memory, after which it receives a response and changes state; a
+// process in a termination state has no next step.
+//
+// Algorithms are written in natural direct style as a function of an Env
+// (see Body); the package turns each into a resumable Machine that a
+// scheduler single-steps. The scheduler observes the machine's pending
+// Action, executes it against whatever memory it manages, and delivers the
+// outcome. This inversion gives schedulers — in particular the adversary of
+// Section 5 — total control over interleaving while keeping algorithm code
+// readable.
+//
+// A Machine also records the full history of inputs it consumed and actions
+// it emitted. Two machines running the same algorithm that consumed
+// identical histories are in identical states, so history equality is the
+// operational form of the state equality used by the Indistinguishability
+// Lemma (Lemma 5.2).
+package machine
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"sync"
+
+	"jayanti98/internal/shmem"
+)
+
+// ActionKind classifies a machine's pending step.
+type ActionKind int
+
+// The three kinds of pending actions, plus ActCrash reported when the
+// algorithm body panics (a bug in the algorithm, surfaced loudly).
+const (
+	ActToss ActionKind = iota + 1
+	ActOp
+	ActReturn
+	ActCrash
+)
+
+// String names the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActToss:
+		return "toss"
+	case ActOp:
+		return "op"
+	case ActReturn:
+		return "return"
+	case ActCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is a machine's pending step: a coin toss (Kind ActToss), a
+// shared-memory operation (Kind ActOp, with Op set), or termination
+// (Kind ActReturn, with Ret set to the process's return value).
+type Action struct {
+	Kind ActionKind
+	Op   shmem.Op
+	Ret  shmem.Value
+}
+
+// TossAssignment supplies coin-toss outcomes: A(p, j) is the outcome of the
+// j-th toss (0-indexed) by process p, exactly the toss assignments of
+// Section 5.2. Deterministic algorithms never consult it.
+type TossAssignment func(pid, j int) int64
+
+// ZeroTosses is the toss assignment that always returns 0; adequate for
+// deterministic algorithms.
+func ZeroTosses(int, int) int64 { return 0 }
+
+// Env is the interface an algorithm body uses to interact with the world.
+// All shared-memory helpers block until the scheduler performs the op and
+// delivers the response.
+type Env struct {
+	id int
+	n  int
+	m  *Machine
+}
+
+// ID returns the executing process's identifier in [0, N).
+func (e *Env) ID() int { return e.id }
+
+// N returns the number of processes in the system.
+func (e *Env) N() int { return e.n }
+
+// Toss performs a local coin toss and returns its outcome.
+func (e *Env) Toss() int64 { return e.m.yieldToss() }
+
+// Do performs a raw shared-memory operation.
+func (e *Env) Do(op shmem.Op) shmem.Response { return e.m.yieldOp(op) }
+
+// LL performs LL(reg) and returns the register's value.
+func (e *Env) LL(reg int) shmem.Value {
+	return e.Do(shmem.Op{Kind: shmem.OpLL, Reg: reg}).Val
+}
+
+// SC performs SC(reg, v); it returns the success boolean and the register's
+// previous value (the strengthened response of Section 3).
+func (e *Env) SC(reg int, v shmem.Value) (bool, shmem.Value) {
+	r := e.Do(shmem.Op{Kind: shmem.OpSC, Reg: reg, Arg: v})
+	return r.OK, r.Val
+}
+
+// Validate performs validate(reg); it returns the link-validity boolean and
+// the register's current value. Validate(reg) is also the model's read.
+func (e *Env) Validate(reg int) (bool, shmem.Value) {
+	r := e.Do(shmem.Op{Kind: shmem.OpValidate, Reg: reg})
+	return r.OK, r.Val
+}
+
+// Read returns the current value of reg (a validate, discarding the boolean).
+func (e *Env) Read(reg int) shmem.Value {
+	_, v := e.Validate(reg)
+	return v
+}
+
+// Swap performs swap(reg, v) and returns the register's previous value.
+func (e *Env) Swap(reg int, v shmem.Value) shmem.Value {
+	return e.Do(shmem.Op{Kind: shmem.OpSwap, Reg: reg, Arg: v}).Val
+}
+
+// Move performs move(src, dst): value(src) is copied into dst.
+func (e *Env) Move(src, dst int) {
+	e.Do(shmem.Op{Kind: shmem.OpMove, Src: src, Reg: dst})
+}
+
+// Port is the capability surface that reusable building blocks (universal
+// constructions, shared-object clients) program against: the five
+// shared-memory operations plus process identity. *Env implements Port on
+// the simulated memory; llsc.Handle implements it on the concurrent memory,
+// so the same construction code runs under the adversary and under real
+// goroutines.
+type Port interface {
+	// ID returns the calling process's identifier in [0, N).
+	ID() int
+	// N returns the number of processes sharing the memory.
+	N() int
+	// LL performs LL(reg) and returns the register's value.
+	LL(reg int) shmem.Value
+	// SC performs SC(reg, v), returning success and the previous value.
+	SC(reg int, v shmem.Value) (bool, shmem.Value)
+	// Validate performs validate(reg), returning link validity and value.
+	Validate(reg int) (bool, shmem.Value)
+	// Read returns the current value of reg (a validate, boolean dropped).
+	Read(reg int) shmem.Value
+	// Swap performs swap(reg, v) and returns the previous value.
+	Swap(reg int, v shmem.Value) shmem.Value
+	// Move performs move(src, dst).
+	Move(src, dst int)
+}
+
+var _ Port = (*Env)(nil)
+
+// Body is an algorithm written in direct style. It runs as process e.ID()
+// of e.N() and returns the process's return value. Bodies must interact
+// with the outside world only through the Env and must not block on
+// anything else.
+type Body func(e *Env) shmem.Value
+
+// Algorithm is a named distributed algorithm: a factory of process bodies.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Run is the code of process id (captured inside the Env).
+	Run(e *Env) shmem.Value
+}
+
+type funcAlgorithm struct {
+	name string
+	body Body
+}
+
+func (a *funcAlgorithm) Name() string           { return a.name }
+func (a *funcAlgorithm) Run(e *Env) shmem.Value { return a.body(e) }
+
+// New wraps a Body as a named Algorithm.
+func New(name string, body Body) Algorithm {
+	return &funcAlgorithm{name: name, body: body}
+}
+
+// errKilled is the sentinel panic used to unwind an abandoned machine body.
+type killedSentinel struct{}
+
+// Machine is one resumable process. Create with Start, drive with
+// Peek/DeliverToss/DeliverOpResponse, and always Close when done with it
+// (Close is idempotent and safe on terminated machines).
+//
+// Machine is not safe for concurrent use by multiple scheduler goroutines.
+type Machine struct {
+	id      int
+	alg     Algorithm
+	actions chan Action
+	tossIn  chan int64
+	respIn  chan shmem.Response
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	pending   *Action
+	done      bool
+	ret       shmem.Value
+	crash     error
+	numTosses int
+	steps     int
+	hist      hash.Hash64
+	events    int
+	noHistory bool
+	closeOnce sync.Once
+}
+
+// Start launches process id of n running alg and returns its Machine.
+func Start(alg Algorithm, id, n int) *Machine {
+	m := &Machine{
+		id:      id,
+		alg:     alg,
+		actions: make(chan Action),
+		tossIn:  make(chan int64),
+		respIn:  make(chan shmem.Response),
+		quit:    make(chan struct{}),
+		hist:    fnv.New64a(),
+	}
+	env := &Env{id: id, n: n, m: m}
+	m.wg.Add(1)
+	go m.run(env)
+	return m
+}
+
+// DisableHistory turns off history-key maintenance for this machine. Pure
+// measurement runs (step-count sweeps over large n) use it to avoid paying
+// for digesting every delivered value; runs that will be compared with
+// CheckIndist must keep history enabled. Call before the first Peek.
+func (m *Machine) DisableHistory() { m.noHistory = true }
+
+// record folds an event into the history digest.
+func (m *Machine) record(format string, args ...any) {
+	if m.noHistory {
+		return
+	}
+	m.events++
+	fmt.Fprintf(m.hist, format, args...)
+}
+
+func (m *Machine) run(env *Env) {
+	defer m.wg.Done()
+	var final Action
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, killed := r.(killedSentinel); killed {
+					final = Action{} // swallowed; no final action published
+					return
+				}
+				final = Action{Kind: ActCrash, Ret: fmt.Sprintf("panic: %v", r)}
+			}
+		}()
+		ret := m.alg.Run(env)
+		final = Action{Kind: ActReturn, Ret: ret}
+	}()
+	if final.Kind == 0 {
+		return // killed
+	}
+	select {
+	case m.actions <- final:
+	case <-m.quit:
+	}
+}
+
+// yieldToss publishes a pending toss and blocks for its outcome.
+func (m *Machine) yieldToss() int64 {
+	select {
+	case m.actions <- Action{Kind: ActToss}:
+	case <-m.quit:
+		panic(killedSentinel{})
+	}
+	select {
+	case v := <-m.tossIn:
+		return v
+	case <-m.quit:
+		panic(killedSentinel{})
+	}
+}
+
+// yieldOp publishes a pending shared-memory op and blocks for its response.
+func (m *Machine) yieldOp(op shmem.Op) shmem.Response {
+	select {
+	case m.actions <- Action{Kind: ActOp, Op: op}:
+	case <-m.quit:
+		panic(killedSentinel{})
+	}
+	select {
+	case r := <-m.respIn:
+		return r
+	case <-m.quit:
+		panic(killedSentinel{})
+	}
+}
+
+// ID returns the process identifier.
+func (m *Machine) ID() int { return m.id }
+
+// Peek blocks until the machine's next pending action is available and
+// returns it without consuming it. After the machine terminates (or
+// crashes), Peek keeps returning the final action.
+func (m *Machine) Peek() Action {
+	if m.pending != nil {
+		return *m.pending
+	}
+	if m.done {
+		if m.crash != nil {
+			return Action{Kind: ActCrash, Ret: m.crash.Error()}
+		}
+		return Action{Kind: ActReturn, Ret: m.ret}
+	}
+	a := <-m.actions
+	switch a.Kind {
+	case ActReturn:
+		m.done = true
+		m.ret = a.Ret
+		m.record("return %v;", a.Ret)
+		return a
+	case ActCrash:
+		m.done = true
+		m.crash = fmt.Errorf("%v", a.Ret)
+		m.record("crash %v;", a.Ret)
+		return a
+	default:
+		m.pending = &a
+		return a
+	}
+}
+
+// DeliverToss consumes a pending ActToss with the given outcome.
+// It panics if the pending action is not a toss — that is a scheduler bug.
+func (m *Machine) DeliverToss(outcome int64) {
+	a := m.Peek()
+	if a.Kind != ActToss {
+		panic(fmt.Sprintf("machine %d: DeliverToss but pending action is %v", m.id, a.Kind))
+	}
+	m.pending = nil
+	m.numTosses++
+	m.record("toss=%d;", outcome)
+	m.tossIn <- outcome
+}
+
+// DeliverOpResponse consumes a pending ActOp with the given response.
+// It panics if the pending action is not an op — that is a scheduler bug.
+func (m *Machine) DeliverOpResponse(r shmem.Response) {
+	a := m.Peek()
+	if a.Kind != ActOp {
+		panic(fmt.Sprintf("machine %d: DeliverOpResponse but pending action is %v", m.id, a.Kind))
+	}
+	m.pending = nil
+	m.steps++
+	m.record("%v->%v;", a.Op, r)
+	m.respIn <- r
+}
+
+// Terminated reports whether the process has reached a termination state.
+func (m *Machine) Terminated() bool {
+	return m.done && m.crash == nil
+}
+
+// Crashed returns the panic error if the algorithm body panicked, else nil.
+func (m *Machine) Crashed() error { return m.crash }
+
+// ReturnValue returns the process's return value; valid once Terminated.
+func (m *Machine) ReturnValue() shmem.Value { return m.ret }
+
+// NumTosses returns the number of coin tosses performed so far —
+// numtosses(p, ·) of Section 5.5.
+func (m *Machine) NumTosses() int { return m.numTosses }
+
+// Steps returns the number of shared-memory operations completed so far.
+func (m *Machine) Steps() int { return m.steps }
+
+// HistoryKey returns a digest of everything the process has observed and
+// emitted so far (event count plus a 64-bit FNV-1a hash of the rendered
+// event stream). Equal histories imply equal local states, so HistoryKey
+// equality is the operational state equality of Lemma 5.2; the digest makes
+// the comparison O(1) per round instead of quadratic in run length. It
+// returns "disabled" after DisableHistory.
+func (m *Machine) HistoryKey() string {
+	if m.noHistory {
+		return "disabled"
+	}
+	return fmt.Sprintf("ev%d:%016x", m.events, m.hist.Sum64())
+}
+
+// Close abandons the machine: the underlying goroutine is unwound and
+// reclaimed. Close is idempotent and must be called (directly or via a
+// runner) for every started machine.
+func (m *Machine) Close() {
+	m.closeOnce.Do(func() {
+		close(m.quit)
+		// Drain a possibly in-flight action so the body's send completes.
+		select {
+		case <-m.actions:
+		default:
+		}
+		m.wg.Wait()
+	})
+}
+
+// StartAll starts machines for processes 0..n-1 of alg.
+func StartAll(alg Algorithm, n int) []*Machine {
+	ms := make([]*Machine, n)
+	for i := 0; i < n; i++ {
+		ms[i] = Start(alg, i, n)
+	}
+	return ms
+}
+
+// CloseAll closes every machine in ms.
+func CloseAll(ms []*Machine) {
+	for _, m := range ms {
+		m.Close()
+	}
+}

@@ -1,0 +1,201 @@
+package objtype
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Operation names of the numeric types.
+const (
+	OpFetchIncrement  = "fetch&increment"
+	OpFetchAdd        = "fetch&add"
+	OpFetchAnd        = "fetch&and"
+	OpFetchOr         = "fetch&or"
+	OpFetchComplement = "fetch&complement"
+	OpFetchMultiply   = "fetch&multiply"
+)
+
+// Hex encodes a non-negative integer as the canonical lowercase-hex string
+// used for numeric object states and arguments.
+func Hex(v *big.Int) string { return v.Text(16) }
+
+// HexUint encodes a uint64 in canonical hex.
+func HexUint(v uint64) string { return new(big.Int).SetUint64(v).Text(16) }
+
+// ParseHex decodes a canonical hex string. It panics on malformed input,
+// which can only arise from a bug (states never leave this package's
+// control other than as opaque immutable values).
+func ParseHex(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic(fmt.Sprintf("objtype: malformed hex state %q", s))
+	}
+	return v
+}
+
+// AllOnes returns the k-bit all-ones value 2^k − 1.
+func AllOnes(k int) *big.Int {
+	return new(big.Int).Sub(pow2(k), big.NewInt(1))
+}
+
+func one() *big.Int { return big.NewInt(1) }
+
+func pow2(k int) *big.Int { return new(big.Int).Lsh(big.NewInt(1), uint(k)) }
+
+// numeric is a k-bit register state with one or more fetch&φ operations.
+// The state is value mod 2^k, encoded as canonical hex.
+type numeric struct {
+	name string
+	k    int
+	init func(n, k int) *big.Int
+	ops  map[string]func(state, arg *big.Int, k int) *big.Int
+}
+
+func (t *numeric) Name() string { return fmt.Sprintf("%s(%d)", t.name, t.k) }
+
+func (t *numeric) Init(n int) Value { return Hex(t.mask(t.init(n, t.k))) }
+
+func (t *numeric) Ops() []string {
+	names := make([]string, 0, len(t.ops))
+	for name := range t.ops {
+		names = append(names, name)
+	}
+	return names
+}
+
+func (t *numeric) mask(v *big.Int) *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(t.k))
+	return new(big.Int).Mod(v, m)
+}
+
+func (t *numeric) Apply(state Value, op Op) (Value, Value) {
+	f, ok := t.ops[op.Name]
+	if !ok {
+		errUnknownOp(t, op)
+	}
+	s, ok := state.(string)
+	if !ok {
+		panic(fmt.Sprintf("objtype: %s state must be a hex string, got %T", t.Name(), state))
+	}
+	cur := ParseHex(s)
+	var arg *big.Int
+	if op.Arg != nil {
+		switch a := op.Arg.(type) {
+		case string:
+			arg = ParseHex(a)
+		case int:
+			arg = big.NewInt(int64(a))
+		default:
+			panic(fmt.Sprintf("objtype: %s argument must be a hex string or int, got %T", t.Name(), op.Arg))
+		}
+	}
+	next := t.mask(f(cur, arg, t.k))
+	return Hex(next), Hex(cur) // fetch&φ returns the previous state
+}
+
+// NewFetchIncrement returns the k-bit fetch&increment type of Theorem 6.2:
+// fetch&increment() adds 1 mod 2^k and returns the previous state. The
+// initial state is 0. Wakeup needs k ≥ log₂ n.
+func NewFetchIncrement(k int) Type {
+	return &numeric{
+		name: OpFetchIncrement,
+		k:    k,
+		init: func(_, _ int) *big.Int { return big.NewInt(0) },
+		ops: map[string]func(s, a *big.Int, k int) *big.Int{
+			OpFetchIncrement: func(s, _ *big.Int, _ int) *big.Int {
+				return new(big.Int).Add(s, big.NewInt(1))
+			},
+		},
+	}
+}
+
+// NewFetchAdd returns the k-bit fetch&add type: fetch&add(v) adds v mod 2^k
+// and returns the previous state. Initial state 0. (Mentioned in Section 7;
+// fetch&increment is its arity-0 special case.)
+func NewFetchAdd(k int) Type {
+	return &numeric{
+		name: OpFetchAdd,
+		k:    k,
+		init: func(_, _ int) *big.Int { return big.NewInt(0) },
+		ops: map[string]func(s, a *big.Int, k int) *big.Int{
+			OpFetchAdd: func(s, a *big.Int, _ int) *big.Int {
+				return new(big.Int).Add(s, a)
+			},
+		},
+	}
+}
+
+// NewFetchAnd returns the k-bit fetch&and type of Theorem 6.2:
+// fetch&and(v) sets the state to state AND v and returns the previous
+// state. The initial state is all ones (every bit set), as the wakeup
+// reduction requires. Wakeup needs k ≥ n.
+func NewFetchAnd(k int) Type {
+	return &numeric{
+		name: OpFetchAnd,
+		k:    k,
+		init: func(_, k int) *big.Int { return AllOnes(k) },
+		ops: map[string]func(s, a *big.Int, k int) *big.Int{
+			OpFetchAnd: func(s, a *big.Int, _ int) *big.Int {
+				return new(big.Int).And(s, a)
+			},
+		},
+	}
+}
+
+// NewFetchOr returns the k-bit fetch&or type of Theorem 6.2: fetch&or(v)
+// sets the state to state OR v and returns the previous state. Initial
+// state 0. Wakeup needs k ≥ n.
+func NewFetchOr(k int) Type {
+	return &numeric{
+		name: OpFetchOr,
+		k:    k,
+		init: func(_, _ int) *big.Int { return big.NewInt(0) },
+		ops: map[string]func(s, a *big.Int, k int) *big.Int{
+			OpFetchOr: func(s, a *big.Int, _ int) *big.Int {
+				return new(big.Int).Or(s, a)
+			},
+		},
+	}
+}
+
+// NewFetchComplement returns the k-bit fetch&complement type of Theorem
+// 6.2: fetch&complement(i), for a 0-based bit index i < k, flips bit i and
+// returns the previous state. Initial state 0. Wakeup needs k ≥ n.
+func NewFetchComplement(k int) Type {
+	return &numeric{
+		name: OpFetchComplement,
+		k:    k,
+		init: func(_, _ int) *big.Int { return big.NewInt(0) },
+		ops: map[string]func(s, a *big.Int, k int) *big.Int{
+			OpFetchComplement: func(s, a *big.Int, k int) *big.Int {
+				i := int(a.Int64())
+				if i < 0 || i >= k {
+					panic(fmt.Sprintf("objtype: fetch&complement bit %d out of range [0,%d)", i, k))
+				}
+				out := new(big.Int).Set(s)
+				if out.Bit(i) == 0 {
+					out.SetBit(out, i, 1)
+				} else {
+					out.SetBit(out, i, 0)
+				}
+				return out
+			},
+		},
+	}
+}
+
+// NewFetchMultiply returns the k-bit fetch&multiply type of Theorem 6.2:
+// fetch&multiply(v) sets the state to (state·v) mod 2^k and returns the
+// previous state. Initial state 1. Wakeup needs k ≥ n.
+func NewFetchMultiply(k int) Type {
+	return &numeric{
+		name: OpFetchMultiply,
+		k:    k,
+		init: func(_, _ int) *big.Int { return big.NewInt(1) },
+		ops: map[string]func(s, a *big.Int, k int) *big.Int{
+			OpFetchMultiply: func(s, a *big.Int, _ int) *big.Int {
+				return new(big.Int).Mul(s, a)
+			},
+		},
+	}
+}

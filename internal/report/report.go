@@ -1,0 +1,98 @@
+// Package report renders experiment results as aligned markdown tables —
+// the format cmd/lbreport writes and EXPERIMENTS.md records.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple markdown table builder.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells are rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// WriteTo renders the table as aligned markdown.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", w, c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// Check renders a pass/fail cell from an error.
+func Check(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return "FAIL: " + err.Error()
+}
+
+// Bool renders a boolean as ok/FAIL.
+func Bool(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}
+
+// Section writes a markdown heading.
+func Section(w io.Writer, level int, format string, args ...any) {
+	fmt.Fprintf(w, "\n%s %s\n\n", strings.Repeat("#", level), fmt.Sprintf(format, args...))
+}

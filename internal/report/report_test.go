@@ -1,0 +1,59 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("n", "steps")
+	tbl.AddRow(8, 12)
+	tbl.AddRow(1024, 3)
+	got := tbl.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[0], "n") || !strings.Contains(lines[0], "steps") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "|--") {
+		t.Fatalf("separator wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "1024") {
+		t.Fatalf("row wrong: %q", lines[3])
+	}
+	// All rows must have equal width (aligned).
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("rows not aligned:\n%s", got)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.AddRow(1) // fewer cells than headers
+	if !strings.Contains(tbl.String(), "1") {
+		t.Fatal("short row dropped")
+	}
+}
+
+func TestCheckAndBool(t *testing.T) {
+	if Check(nil) != "ok" {
+		t.Fatal("Check(nil)")
+	}
+	if got := Check(errors.New("boom")); got != "FAIL: boom" {
+		t.Fatalf("Check(err) = %q", got)
+	}
+	if Bool(true) != "ok" || Bool(false) != "FAIL" {
+		t.Fatal("Bool wrong")
+	}
+}
+
+func TestSection(t *testing.T) {
+	var b strings.Builder
+	Section(&b, 2, "E%d %s", 1, "wakeup")
+	if !strings.Contains(b.String(), "## E1 wakeup") {
+		t.Fatalf("Section = %q", b.String())
+	}
+}

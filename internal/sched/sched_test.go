@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"jayanti98/internal/machine"
+	"jayanti98/internal/shmem"
+)
+
+// incrementAlg: each process LL/SC-retries to add 1 to register 0 until it
+// succeeds, then returns the value it installed.
+var incrementAlg = machine.New("increment", func(e *machine.Env) shmem.Value {
+	for {
+		v := e.LL(0)
+		cur := 0
+		if v != nil {
+			cur = v.(int)
+		}
+		if ok, _ := e.SC(0, cur+1); ok {
+			return cur + 1
+		}
+	}
+})
+
+func TestSequentialRunsSolo(t *testing.T) {
+	mem := shmem.New()
+	res, err := Execute(incrementAlg, 4, mem, Sequential{}, machine.ZeroTosses, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Read(0); got != 4 {
+		t.Fatalf("final counter = %v, want 4", got)
+	}
+	// Solo: every process succeeds on first LL/SC, i.e. exactly 2 steps.
+	for pid, s := range res.Steps {
+		if s != 2 {
+			t.Errorf("pid %d steps = %d, want 2", pid, s)
+		}
+	}
+	if res.MaxSteps != 2 || res.TotalSteps != 8 {
+		t.Fatalf("MaxSteps=%d TotalSteps=%d, want 2, 8", res.MaxSteps, res.TotalSteps)
+	}
+}
+
+func TestRoundRobinContention(t *testing.T) {
+	mem := shmem.New()
+	res, err := Execute(incrementAlg, 4, mem, &RoundRobin{}, machine.ZeroTosses, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Read(0); got != 4 {
+		t.Fatalf("final counter = %v, want 4", got)
+	}
+	// Under lockstep the returns must be a permutation of 1..4.
+	seen := make(map[int]bool)
+	for _, v := range res.Returns {
+		seen[v.(int)] = true
+	}
+	for want := 1; want <= 4; want++ {
+		if !seen[want] {
+			t.Fatalf("missing return value %d in %v", want, res.Returns)
+		}
+	}
+	// Contention forces retries: someone needs more than 2 steps.
+	if res.MaxSteps <= 2 {
+		t.Fatalf("MaxSteps = %d; expected contention-induced retries", res.MaxSteps)
+	}
+}
+
+func TestRandomSchedulerIsReproducible(t *testing.T) {
+	run := func() *Result {
+		mem := shmem.New()
+		res, err := Execute(incrementAlg, 5, mem, NewRandom(42), machine.ZeroTosses, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if r1.TotalSteps != r2.TotalSteps {
+		t.Fatalf("same seed, different executions: %d vs %d total steps", r1.TotalSteps, r2.TotalSteps)
+	}
+	for pid := range r1.Returns {
+		if r1.Returns[pid] != r2.Returns[pid] {
+			t.Fatalf("pid %d returns differ: %v vs %v", pid, r1.Returns[pid], r2.Returns[pid])
+		}
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	spinner := machine.New("spinner", func(e *machine.Env) shmem.Value {
+		for {
+			e.Read(0)
+		}
+	})
+	_, err := Execute(spinner, 2, shmem.New(), &RoundRobin{}, machine.ZeroTosses, 50)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestCrashPropagates(t *testing.T) {
+	crasher := machine.New("crasher", func(e *machine.Env) shmem.Value {
+		e.Read(0)
+		panic("bug")
+	})
+	_, err := Execute(crasher, 1, shmem.New(), Sequential{}, machine.ZeroTosses, 100)
+	if err == nil {
+		t.Fatal("crash must surface as an error")
+	}
+}
+
+func TestImmediateReturnWithoutSharedSteps(t *testing.T) {
+	noop := machine.New("noop", func(e *machine.Env) shmem.Value { return e.ID() })
+	res, err := Execute(noop, 3, shmem.New(), &RoundRobin{}, machine.ZeroTosses, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSteps != 0 {
+		t.Fatalf("TotalSteps = %d, want 0", res.TotalSteps)
+	}
+	for pid := 0; pid < 3; pid++ {
+		if res.Returns[pid] != pid {
+			t.Fatalf("Returns[%d] = %v", pid, res.Returns[pid])
+		}
+	}
+}
+
+func TestTossesDrainedBetweenOps(t *testing.T) {
+	alg := machine.New("tossy", func(e *machine.Env) shmem.Value {
+		a := e.Toss()
+		e.Swap(0, a)
+		b := e.Toss()
+		c := e.Toss()
+		return a + b + c
+	})
+	ta := func(pid, j int) int64 { return int64(j + 1) } // 1, 2, 3, ...
+	res, err := Execute(alg, 1, shmem.New(), Sequential{}, ta, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Returns[0] != int64(6) {
+		t.Fatalf("return = %v, want 6", res.Returns[0])
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if (&RoundRobin{}).Name() != "round-robin" ||
+		(Sequential{}).Name() != "sequential" ||
+		NewRandom(1).Name() != "random" {
+		t.Fatal("scheduler names changed")
+	}
+}

@@ -1,0 +1,41 @@
+package shmem
+
+import "fmt"
+
+// ApproxBits estimates the size of a register value in bits, as 8× the
+// length of its rendered form (nil counts as 0). The estimate is crude but
+// order-of-magnitude faithful, which is all the register-width experiment
+// needs: it contrasts constructions whose registers hold whole operation
+// logs (Θ(n) records → Θ(n·w) bits) with ones whose registers hold a
+// counter or a toggle (O(log n) bits). See Section 7 of the paper: the
+// Ω(log n) lower bound is tight only because register size is unbounded,
+// and any size restriction is delicate precisely because practical
+// constructions differ so widely on this axis.
+func ApproxBits(v Value) int {
+	if v == nil {
+		return 0
+	}
+	return 8 * len(fmt.Sprint(v))
+}
+
+// WithBitTracking makes the memory record the largest value (per
+// ApproxBits) ever written to each register. Tracking serializes every
+// written value, which costs as much as the write itself for log-carrying
+// constructions — leave it off except in the register-width experiment.
+func WithBitTracking() Option {
+	return func(m *Memory) { m.trackBits = true }
+}
+
+// MaxRegisterBits returns the largest ApproxBits over all values written so
+// far (including initial values of touched registers), or 0 if the memory
+// was created without WithBitTracking.
+func (m *Memory) MaxRegisterBits() int { return m.maxBits }
+
+func (m *Memory) noteBits(v Value) {
+	if !m.trackBits {
+		return
+	}
+	if b := ApproxBits(v); b > m.maxBits {
+		m.maxBits = b
+	}
+}

@@ -1,0 +1,22 @@
+package shmem
+
+// RMW atomically replaces register i's value v with f(v) and returns v,
+// clearing the register's Pset (any write invalidates outstanding links).
+//
+// This operation is NOT part of the memory model the lower bound is proved
+// against. It implements the observation of Section 7 (open problems): if
+// shared memory supports read-modify-write with an arbitrary computable
+// function on unbounded registers, every object has a wait-free
+// implementation with unit worst-case shared-access time complexity — store
+// the whole object state in one register and perform each operation as a
+// single RMW. Experiment E10 demonstrates exactly that, which is why the
+// lower bound cannot extend to such a memory without restricting it.
+func (m *Memory) RMW(pid, i int, f func(Value) Value) Value {
+	m.steps[pid]++
+	m.total++
+	r := m.reg(i)
+	prev := r.val
+	r.val = f(prev)
+	r.pset = make(map[int]struct{})
+	return prev
+}

@@ -1,0 +1,329 @@
+// Package shmem implements the shared-memory model of Jayanti (PODC 1998),
+// "A Time Complexity Lower Bound for Randomized Implementations of Some
+// Shared Objects", Section 3.
+//
+// The memory consists of an infinite number of shared registers R0, R1, ...,
+// each of unbounded size. The state of a register R is the pair
+// (value(R), Pset(R)), where Pset is the set of processes whose last LL on R
+// has not been invalidated. Five operations are supported: LL, SC, validate,
+// swap, and move. Per the paper's strengthened definitions, SC and validate
+// return the register's value in addition to the usual boolean, which makes
+// the lower bound proved against this memory stronger.
+//
+// Registers are allocated lazily, so the "infinite" register file costs only
+// what a run touches. Values are arbitrary Go values treated as immutable;
+// callers must never mutate a value after storing it.
+package shmem
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Value is the contents of a shared register. Values are immutable by
+// convention: once stored, a Value (including any slice or map it contains)
+// must not be modified. Equality of values is structural (reflect.DeepEqual).
+type Value any
+
+// OpKind identifies one of the five shared-memory operations of the model.
+type OpKind int
+
+// The five operations supported by the shared memory (Section 3 of the
+// paper). There is deliberately no plain read: validate returns the current
+// value without perturbing the register, so read(R) = validate(R).Val.
+const (
+	OpLL OpKind = iota + 1
+	OpSC
+	OpValidate
+	OpSwap
+	OpMove
+)
+
+// String returns the paper's name for the operation.
+func (k OpKind) String() string {
+	switch k {
+	case OpLL:
+		return "LL"
+	case OpSC:
+		return "SC"
+	case OpValidate:
+		return "validate"
+	case OpSwap:
+		return "swap"
+	case OpMove:
+		return "move"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is a single shared-memory operation request.
+//
+//   - LL, Validate: Reg is the register to access.
+//   - SC, Swap: Reg is the register, Arg the value to store.
+//   - Move: Src is the source register, Reg the destination register
+//     (move(R_src, R_dst) copies value(R_src) into R_dst).
+type Op struct {
+	Kind OpKind
+	Reg  int
+	Src  int
+	Arg  Value
+}
+
+// String renders the operation in the paper's notation.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpLL:
+		return fmt.Sprintf("LL(R%d)", o.Reg)
+	case OpSC:
+		return fmt.Sprintf("SC(R%d, %v)", o.Reg, o.Arg)
+	case OpValidate:
+		return fmt.Sprintf("validate(R%d)", o.Reg)
+	case OpSwap:
+		return fmt.Sprintf("swap(R%d, %v)", o.Reg, o.Arg)
+	case OpMove:
+		return fmt.Sprintf("move(R%d, R%d)", o.Src, o.Reg)
+	default:
+		return fmt.Sprintf("op(%v)", o.Kind)
+	}
+}
+
+// Response is the reply to an Op.
+//
+//   - LL: Val is the register's value; OK is true.
+//   - SC: OK reports success; Val is the register's previous value (the
+//     strengthened response of Section 3).
+//   - Validate: OK reports whether the caller's link is still valid; Val is
+//     the register's current value.
+//   - Swap: Val is the register's previous value; OK is true.
+//   - Move: OK is true; Val is nil (move returns only an acknowledgement).
+type Response struct {
+	OK  bool
+	Val Value
+}
+
+// String renders the response compactly.
+func (r Response) String() string {
+	return fmt.Sprintf("(%t, %v)", r.OK, r.Val)
+}
+
+// RegState is a snapshot of one register's state: its value and the sorted
+// list of processes in its Pset.
+type RegState struct {
+	Val  Value
+	Pset []int
+}
+
+// Equal reports whether two register snapshots have structurally equal values
+// and identical Psets.
+func (s RegState) Equal(o RegState) bool {
+	if !ValuesEqual(s.Val, o.Val) {
+		return false
+	}
+	if len(s.Pset) != len(o.Pset) {
+		return false
+	}
+	for i := range s.Pset {
+		if s.Pset[i] != o.Pset[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ValuesEqual reports structural equality of two register values.
+func ValuesEqual(a, b Value) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+type register struct {
+	val  Value
+	pset map[int]struct{}
+}
+
+// Memory is the shared memory: an unbounded register file plus per-process
+// shared-access step counters. Memory is not safe for concurrent use; the
+// lower-bound machinery drives it from a single scheduler goroutine. For a
+// concurrent linearizable variant usable from many goroutines, see package
+// llsc.
+type Memory struct {
+	regs      map[int]*register
+	initVal   func(reg int) Value
+	steps     map[int]int64
+	total     int64
+	trackBits bool
+	maxBits   int
+}
+
+// Option configures a Memory.
+type Option func(*Memory)
+
+// WithInit sets the initial value of every register as a function of its
+// index. The default initial value is nil. The function must be pure: it is
+// re-evaluated whenever an untouched register is first accessed.
+func WithInit(f func(reg int) Value) Option {
+	return func(m *Memory) { m.initVal = f }
+}
+
+// New creates an empty shared memory. All registers initially hold nil (or
+// the value supplied by WithInit) and have empty Psets.
+func New(opts ...Option) *Memory {
+	m := &Memory{
+		regs:  make(map[int]*register),
+		steps: make(map[int]int64),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+func (m *Memory) reg(i int) *register {
+	r, ok := m.regs[i]
+	if !ok {
+		r = &register{pset: make(map[int]struct{})}
+		if m.initVal != nil {
+			r.val = m.initVal(i)
+			m.noteBits(r.val)
+		}
+		m.regs[i] = r
+	}
+	return r
+}
+
+// Apply performs op on behalf of process pid, charges pid one shared-access
+// step, and returns the response. The semantics follow Section 3 verbatim.
+func (m *Memory) Apply(pid int, op Op) Response {
+	m.steps[pid]++
+	m.total++
+	switch op.Kind {
+	case OpLL:
+		r := m.reg(op.Reg)
+		r.pset[pid] = struct{}{}
+		return Response{OK: true, Val: r.val}
+	case OpSC:
+		r := m.reg(op.Reg)
+		prev := r.val
+		if _, linked := r.pset[pid]; linked {
+			r.val = op.Arg
+			r.pset = make(map[int]struct{})
+			m.noteBits(op.Arg)
+			return Response{OK: true, Val: prev}
+		}
+		return Response{OK: false, Val: prev}
+	case OpValidate:
+		r := m.reg(op.Reg)
+		_, linked := r.pset[pid]
+		return Response{OK: linked, Val: r.val}
+	case OpSwap:
+		r := m.reg(op.Reg)
+		prev := r.val
+		r.val = op.Arg
+		r.pset = make(map[int]struct{})
+		m.noteBits(op.Arg)
+		return Response{OK: true, Val: prev}
+	case OpMove:
+		// A self-move is a complete no-op: Section 3 states that a move
+		// leaves the source register's state unchanged, and when src = dst
+		// the register is its own source, so neither its value nor its
+		// Pset may change. (Clearing the Pset would leak the mover's
+		// existence through later SC failures while the movers bookkeeping
+		// of Section 4 — which carries only value flow — could not account
+		// for it, breaking Lemmas 4.1 and 5.2 simultaneously.)
+		if op.Src == op.Reg {
+			return Response{OK: true}
+		}
+		src := m.reg(op.Src)
+		dst := m.reg(op.Reg)
+		dst.val = src.val
+		dst.pset = make(map[int]struct{})
+		return Response{OK: true}
+	default:
+		panic(fmt.Sprintf("shmem: unknown op kind %v", op.Kind))
+	}
+}
+
+// Read returns the current value of register i without charging any process
+// a step and without perturbing the register. It exists for checkers and
+// reporting code; algorithms must go through Apply.
+func (m *Memory) Read(i int) Value {
+	return m.reg(i).val
+}
+
+// PsetContains reports whether pid is in register i's Pset, without charging
+// a step. For checkers only.
+func (m *Memory) PsetContains(i, pid int) bool {
+	_, ok := m.reg(i).pset[pid]
+	return ok
+}
+
+// Steps returns the number of shared-memory operations performed by pid so
+// far — the per-process shared-access time t(p, R) of the paper.
+func (m *Memory) Steps(pid int) int64 {
+	return m.steps[pid]
+}
+
+// TotalSteps returns the total number of shared-memory operations applied.
+func (m *Memory) TotalSteps() int64 {
+	return m.total
+}
+
+// MaxSteps returns max over processes of Steps — t(R) in the paper's
+// notation — and the pid attaining it (smallest pid on ties, -1 if no steps).
+func (m *Memory) MaxSteps() (steps int64, pid int) {
+	pid = -1
+	pids := make([]int, 0, len(m.steps))
+	for p := range m.steps {
+		pids = append(pids, p)
+	}
+	sort.Ints(pids)
+	for _, p := range pids {
+		if m.steps[p] > steps {
+			steps, pid = m.steps[p], p
+		}
+	}
+	return steps, pid
+}
+
+// Snapshot captures the state of every touched register: value plus sorted
+// Pset. Untouched registers are omitted (they hold their initial value and
+// an empty Pset by construction).
+func (m *Memory) Snapshot() map[int]RegState {
+	snap := make(map[int]RegState, len(m.regs))
+	for i, r := range m.regs {
+		ps := make([]int, 0, len(r.pset))
+		for p := range r.pset {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		snap[i] = RegState{Val: r.val, Pset: ps}
+	}
+	return snap
+}
+
+// Touched returns the sorted indices of registers that have been accessed.
+func (m *Memory) Touched() []int {
+	idx := make([]int, 0, len(m.regs))
+	for i := range m.regs {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// Dump renders the touched registers, for debugging.
+func (m *Memory) Dump() string {
+	var b strings.Builder
+	for _, i := range m.Touched() {
+		r := m.regs[i]
+		ps := make([]int, 0, len(r.pset))
+		for p := range r.pset {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		fmt.Fprintf(&b, "R%d = %v Pset=%v\n", i, r.val, ps)
+	}
+	return b.String()
+}

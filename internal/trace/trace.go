@@ -1,0 +1,126 @@
+// Package trace serializes adversary runs into a stable, human-readable
+// form. Traces serve three purposes: golden tests (a committed trace
+// pins the adversary's exact schedule, so an accidental change to phase
+// ordering or UP bookkeeping shows up as a diff), determinism checks
+// (identical inputs must yield identical traces), and debugging (the diff
+// of two traces localizes the first divergence between runs).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"jayanti98/internal/core"
+)
+
+// Trace is the serializable form of an adversary run.
+type Trace struct {
+	Algorithm string       `json:"algorithm"`
+	N         int          `json:"n"`
+	Rounds    []RoundTrace `json:"rounds"`
+	Returns   []string     `json:"returns"` // "p3 -> 1", sorted by pid
+	Steps     []int        `json:"steps"`   // per-pid shared-access counts
+}
+
+// RoundTrace is one round of the run.
+type RoundTrace struct {
+	R        int      `json:"r"`
+	Returned []string `json:"returned,omitempty"`
+	Steps    []string `json:"steps,omitempty"` // rendered StepRecords, in order
+	Sigma    []int    `json:"sigma,omitempty"` // the secretive move schedule
+}
+
+// FromAllRun captures a run.
+func FromAllRun(run *core.AllRun) *Trace {
+	t := &Trace{
+		Algorithm: run.Alg.Name(),
+		N:         run.N,
+		Steps:     make([]int, run.N),
+	}
+	for pid := 0; pid < run.N; pid++ {
+		t.Steps[pid] = run.Steps[pid]
+	}
+	pids := make([]int, 0, len(run.Returns))
+	for pid := range run.Returns {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		t.Returns = append(t.Returns, fmt.Sprintf("p%d -> %v", pid, run.Returns[pid]))
+	}
+	for _, round := range run.Rounds {
+		rt := RoundTrace{R: round.R, Sigma: round.Sigma}
+		retPids := make([]int, 0, len(round.Returned))
+		for pid := range round.Returned {
+			retPids = append(retPids, pid)
+		}
+		sort.Ints(retPids)
+		for _, pid := range retPids {
+			rt.Returned = append(rt.Returned, fmt.Sprintf("p%d -> %v", pid, round.Returned[pid]))
+		}
+		for _, s := range round.Steps {
+			rt.Steps = append(rt.Steps, s.String())
+		}
+		t.Rounds = append(t.Rounds, rt)
+	}
+	return t
+}
+
+// MarshalIndent renders the trace as stable, indented JSON.
+func (t *Trace) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Parse decodes a trace previously produced by MarshalIndent.
+func Parse(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &t, nil
+}
+
+// Diff returns a description of the first difference between two traces,
+// or "" if they are identical. It compares metadata, then rounds
+// step-by-step, so the result pinpoints the first diverging event.
+func Diff(a, b *Trace) string {
+	switch {
+	case a.Algorithm != b.Algorithm:
+		return fmt.Sprintf("algorithm: %q vs %q", a.Algorithm, b.Algorithm)
+	case a.N != b.N:
+		return fmt.Sprintf("n: %d vs %d", a.N, b.N)
+	case len(a.Rounds) != len(b.Rounds):
+		return fmt.Sprintf("rounds: %d vs %d", len(a.Rounds), len(b.Rounds))
+	}
+	for i := range a.Rounds {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		if d := diffStrings(fmt.Sprintf("round %d steps", ra.R), ra.Steps, rb.Steps); d != "" {
+			return d
+		}
+		if d := diffStrings(fmt.Sprintf("round %d returns", ra.R), ra.Returned, rb.Returned); d != "" {
+			return d
+		}
+	}
+	if d := diffStrings("final returns", a.Returns, b.Returns); d != "" {
+		return d
+	}
+	for pid := range a.Steps {
+		if a.Steps[pid] != b.Steps[pid] {
+			return fmt.Sprintf("steps of p%d: %d vs %d", pid, a.Steps[pid], b.Steps[pid])
+		}
+	}
+	return ""
+}
+
+func diffStrings(label string, a, b []string) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%s: %d vs %d entries", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("%s[%d]: %q vs %q", label, i, a[i], b[i])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jayanti98/internal/core"
+	"jayanti98/internal/machine"
+	"jayanti98/internal/wakeup"
+)
+
+func capture(t *testing.T, alg machine.Algorithm, n int, seed int64) *Trace {
+	t.Helper()
+	ta := machine.ZeroTosses
+	if seed != 0 {
+		ta = func(pid, j int) int64 { return (int64(pid) + int64(j) + seed) % 2 }
+	}
+	run, err := core.RunAll(alg, n, ta, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromAllRun(run)
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// The adversary is a deterministic function of (algorithm, n, A):
+	// two executions must produce byte-identical traces.
+	algs := []machine.Algorithm{
+		wakeup.SetRegister(),
+		wakeup.MoveCourier(),
+		wakeup.DoubleRegister(),
+	}
+	for _, alg := range algs {
+		t1 := capture(t, alg, 6, 3)
+		t2 := capture(t, alg, 6, 3)
+		if d := Diff(t1, t2); d != "" {
+			t.Fatalf("%s: runs diverged: %s", alg.Name(), d)
+		}
+		b1, err := t1.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, _ := t2.MarshalIndent()
+		if string(b1) != string(b2) {
+			t.Fatalf("%s: serialized traces differ", alg.Name())
+		}
+	}
+}
+
+func TestDiffPinpointsDivergence(t *testing.T) {
+	t1 := capture(t, wakeup.SetRegister(), 4, 0)
+	t2 := capture(t, wakeup.SetRegister(), 4, 0)
+	if d := Diff(t1, t2); d != "" {
+		t.Fatalf("identical runs diff: %s", d)
+	}
+	t2.Rounds[1].Steps[0] = "p9: LL(R9) -> (true, 9)"
+	if d := Diff(t1, t2); d == "" {
+		t.Fatal("diff missed a step change")
+	}
+	t3 := capture(t, wakeup.SetRegister(), 5, 0)
+	if d := Diff(t1, t3); d == "" {
+		t.Fatal("diff missed n change")
+	}
+}
+
+func TestRoundTripJSON(t *testing.T) {
+	t1 := capture(t, wakeup.MoveCourier(), 4, 0)
+	data, err := t1.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(t1, t2); d != "" {
+		t.Fatalf("round trip changed trace: %s", d)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Fatal("Parse must reject malformed JSON")
+	}
+}
+
+// TestGoldenSetRegister pins the adversary's exact schedule for
+// set-register at n = 3. Regenerate with UPDATE_GOLDEN=1 after an
+// *intentional* schedule change.
+func TestGoldenSetRegister(t *testing.T) {
+	golden := filepath.Join("testdata", "set_register_n3.json")
+	got := capture(t, wakeup.SetRegister(), 3, 0)
+	data, err := got.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if update() {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1): %v", err)
+	}
+	wantTrace, err := Parse(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(wantTrace, got); d != "" {
+		t.Fatalf("schedule changed vs golden: %s", d)
+	}
+}
+
+func update() bool {
+	return os.Getenv("UPDATE_GOLDEN") != ""
+}

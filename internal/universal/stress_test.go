@@ -1,0 +1,41 @@
+package universal
+
+import (
+	"testing"
+
+	"jayanti98/internal/core"
+	"jayanti98/internal/machine"
+	"jayanti98/internal/objtype"
+	"jayanti98/internal/shmem"
+)
+
+// TestWaitFreeBoundsAtLargerScaleKUse stresses the try-twice argument at
+// n = 64 with two operations per process: every invocation must stay
+// within StepBound even when announce registers and tree logs hold
+// multiple records per process, under the adversary's lockstep contention.
+func TestWaitFreeBoundsAtLargerScaleKUse(t *testing.T) {
+	const n, k = 64, 2
+	typ := objtype.NewFetchIncrement(32)
+	for _, obj := range []Construction{
+		NewGroupUpdate(typ, n, 0),
+		NewHerlihy(typ, n, 0),
+	} {
+		obj := obj
+		body := machine.New(obj.Name(), func(e *machine.Env) shmem.Value {
+			for i := 0; i < k; i++ {
+				obj.Invoke(e, objtype.Op{Name: objtype.OpFetchIncrement})
+			}
+			return nil
+		})
+		run, err := core.RunAll(body, n, machine.ZeroTosses, core.Config{NoHistory: true})
+		if err != nil {
+			t.Fatalf("%s: %v", obj.Name(), err)
+		}
+		for pid := 0; pid < n; pid++ {
+			if run.Steps[pid] > k*obj.StepBound() {
+				t.Fatalf("%s: p%d used %d steps for %d ops, bound %d",
+					obj.Name(), pid, run.Steps[pid], k, k*obj.StepBound())
+			}
+		}
+	}
+}

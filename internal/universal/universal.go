@@ -1,0 +1,148 @@
+// Package universal implements oblivious universal constructions over
+// LL/SC shared memory — the class of constructions the paper's lower bound
+// applies to, and the one that witnesses its tightness.
+//
+// A universal construction turns the sequential specification of any type T
+// (package objtype) into a wait-free linearizable shared object of type T.
+// It is *oblivious* when it uses T only through its transition function,
+// never exploiting its semantics. The paper shows (Theorem 6.1 + Corollary
+// 6.1) that any oblivious construction on this memory costs Ω(log n)
+// shared accesses per operation in the worst case, and that the
+// Group-Update construction of Afek, Dauber and Touitou — after two minor
+// modifications — achieves O(log n), making the bound tight.
+//
+// Three constructions are provided:
+//
+//   - GroupUpdate: a binary combining tree over unbounded registers;
+//     worst-case Θ(log n) shared accesses per operation. See NewGroupUpdate
+//     for the two modifications relative to the original construction.
+//   - Herlihy: the classic announce-and-help construction; worst-case
+//     Θ(n) per operation. The baseline the paper's introduction compares
+//     against.
+//   - Central: a single-register LL/SC retry loop; lock-free but not
+//     wait-free (O(n) expected under contention, unbounded worst case).
+//     Included as the simplest correct implementation and as a foil for
+//     the wait-freedom discussions.
+//
+// All three run unchanged on the simulated memory (machine.Env) and on the
+// concurrent memory (llsc.Handle) through machine.Port.
+package universal
+
+import (
+	"fmt"
+
+	"jayanti98/internal/machine"
+	"jayanti98/internal/objtype"
+)
+
+// Record is one announced operation: the invoking process, its per-process
+// sequence number, and the operation. A record's identity is (Pid, Seq).
+type Record struct {
+	Pid int
+	Seq int
+	Op  objtype.Op
+}
+
+// String renders the record.
+func (r Record) String() string {
+	return fmt.Sprintf("p%d#%d:%v", r.Pid, r.Seq, r.Op)
+}
+
+// Log is an immutable sequence of records. Logs stored in shared registers
+// must never be modified in place; all log operations copy.
+type Log []Record
+
+// Contains reports whether the log holds the record with identity
+// (pid, seq).
+func (l Log) Contains(pid, seq int) bool {
+	for _, r := range l {
+		if r.Pid == pid && r.Seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexOf returns the position of record (pid, seq), or -1.
+func (l Log) IndexOf(pid, seq int) int {
+	for i, r := range l {
+		if r.Pid == pid && r.Seq == seq {
+			return i
+		}
+	}
+	return -1
+}
+
+// Ops projects the log onto its operations.
+func (l Log) Ops() []objtype.Op {
+	ops := make([]objtype.Op, len(l))
+	for i, r := range l {
+		ops[i] = r.Op
+	}
+	return ops
+}
+
+// asLog interprets a register value as a Log (nil → empty).
+func asLog(v any) Log {
+	if v == nil {
+		return nil
+	}
+	l, ok := v.(Log)
+	if !ok {
+		panic(fmt.Sprintf("universal: register holds %T, want Log", v))
+	}
+	return l
+}
+
+// merge returns base extended, in order, with the records of the extra
+// logs that base does not already contain (first occurrence wins). The
+// result shares no backing storage with base.
+func merge(base Log, extras ...Log) Log {
+	seen := make(map[[2]int]bool, len(base))
+	for _, r := range base {
+		seen[[2]int{r.Pid, r.Seq}] = true
+	}
+	out := make(Log, len(base), len(base)+4)
+	copy(out, base)
+	for _, extra := range extras {
+		for _, r := range extra {
+			key := [2]int{r.Pid, r.Seq}
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// Construction is a universal construction instantiated with a type: a
+// stateless descriptor (all object state lives in shared registers) whose
+// Invoke performs one operation on behalf of the process behind the port.
+type Construction interface {
+	// Name identifies the construction.
+	Name() string
+	// Type returns the sequential type the construction was instantiated
+	// with.
+	Type() objtype.Type
+	// Invoke applies op and returns its response.
+	Invoke(p machine.Port, op objtype.Op) objtype.Value
+	// Registers returns how many consecutive registers, starting at the
+	// construction's base, the object occupies.
+	Registers() int
+	// StepBound returns a worst-case bound on shared accesses per Invoke,
+	// or 0 if the construction is not wait-free.
+	StepBound() int
+}
+
+// replayResponse computes the response of record (pid, seq) by replaying
+// the type over the log prefix ending at that record — the "response by
+// local replay" modification (see NewGroupUpdate).
+func replayResponse(typ objtype.Type, n int, log Log, pid, seq int) objtype.Value {
+	idx := log.IndexOf(pid, seq)
+	if idx < 0 {
+		panic(fmt.Sprintf("universal: record p%d#%d missing from linearization log", pid, seq))
+	}
+	_, resps := objtype.Replay(typ, n, log[:idx+1].Ops())
+	return resps[idx]
+}

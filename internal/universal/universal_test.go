@@ -1,0 +1,379 @@
+package universal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"jayanti98/internal/core"
+	"jayanti98/internal/machine"
+	"jayanti98/internal/objtype"
+	"jayanti98/internal/sched"
+	"jayanti98/internal/shmem"
+)
+
+// constructions returns one instance of every construction for an
+// n-process object of the given type, each at base register 0.
+func constructions(typ objtype.Type, n int) []Construction {
+	return []Construction{
+		NewGroupUpdate(typ, n, 0),
+		NewHerlihy(typ, n, 0),
+		NewCentral(typ, n, 0),
+	}
+}
+
+// oneOpAlg wraps "perform a single op on obj and return the response".
+func oneOpAlg(obj Construction, op objtype.Op) machine.Algorithm {
+	return machine.New(obj.Name(), func(e *machine.Env) shmem.Value {
+		return obj.Invoke(e, op)
+	})
+}
+
+func TestLogHelpers(t *testing.T) {
+	l := Log{{Pid: 1, Seq: 0}, {Pid: 2, Seq: 3}}
+	if !l.Contains(2, 3) || l.Contains(2, 0) {
+		t.Fatal("Contains wrong")
+	}
+	if l.IndexOf(1, 0) != 0 || l.IndexOf(9, 9) != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+	if got := (Record{Pid: 1, Seq: 2, Op: objtype.Op{Name: "x"}}).String(); got != "p1#2:x()" {
+		t.Fatalf("Record.String = %q", got)
+	}
+}
+
+func TestMergeDeduplicatesAndPreservesOrder(t *testing.T) {
+	a := Log{{Pid: 0, Seq: 0}, {Pid: 1, Seq: 0}}
+	b := Log{{Pid: 1, Seq: 0}, {Pid: 2, Seq: 0}}
+	c := Log{{Pid: 2, Seq: 0}, {Pid: 3, Seq: 0}}
+	got := merge(a, b, c)
+	want := Log{{Pid: 0, Seq: 0}, {Pid: 1, Seq: 0}, {Pid: 2, Seq: 0}, {Pid: 3, Seq: 0}}
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v", got)
+	}
+	for i := range want {
+		if got[i].Pid != want[i].Pid {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+	// base must not be aliased
+	got[0].Pid = 99
+	if a[0].Pid == 99 {
+		t.Fatal("merge aliased its base log")
+	}
+}
+
+func TestMergeEmptyBase(t *testing.T) {
+	got := merge(nil, Log{{Pid: 5, Seq: 0}})
+	if len(got) != 1 || got[0].Pid != 5 {
+		t.Fatalf("merge(nil, ...) = %v", got)
+	}
+}
+
+func TestAsLogNilAndBadType(t *testing.T) {
+	if asLog(nil) != nil {
+		t.Fatal("asLog(nil) should be empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("asLog of a non-Log must panic")
+		}
+	}()
+	asLog("garbage")
+}
+
+func TestFetchIncrementSingleUseAllConstructionsAllSchedules(t *testing.T) {
+	type schedCase struct {
+		name string
+		mk   func() sched.Scheduler
+	}
+	scheds := []schedCase{
+		{"sequential", func() sched.Scheduler { return sched.Sequential{} }},
+		{"round-robin", func() sched.Scheduler { return &sched.RoundRobin{} }},
+		{"random", func() sched.Scheduler { return sched.NewRandom(7) }},
+	}
+	for _, n := range []int{1, 2, 3, 8} {
+		typ := objtype.NewFetchIncrement(16)
+		for _, obj := range constructions(typ, n) {
+			for _, sc := range scheds {
+				alg := oneOpAlg(obj, objtype.Op{Name: objtype.OpFetchIncrement})
+				mem := shmem.New()
+				res, err := sched.Execute(alg, n, mem, sc.mk(), machine.ZeroTosses, 1_000_000)
+				if err != nil {
+					t.Fatalf("%s/%s n=%d: %v", obj.Name(), sc.name, n, err)
+				}
+				assertPermutationOfCounts(t, res.Returns, n, fmt.Sprintf("%s/%s n=%d", obj.Name(), sc.name, n))
+			}
+		}
+	}
+}
+
+// assertPermutationOfCounts checks that returns are exactly {0..n-1} as hex.
+func assertPermutationOfCounts(t *testing.T, returns map[int]shmem.Value, n int, label string) {
+	t.Helper()
+	seen := make(map[string]bool, n)
+	for pid, v := range returns {
+		s, ok := v.(string)
+		if !ok {
+			t.Fatalf("%s: p%d returned %T", label, pid, v)
+		}
+		if seen[s] {
+			t.Fatalf("%s: duplicate fetch&increment response %q", label, s)
+		}
+		seen[s] = true
+	}
+	for i := 0; i < n; i++ {
+		if !seen[objtype.HexUint(uint64(i))] {
+			t.Fatalf("%s: missing response %d in %v", label, i, returns)
+		}
+	}
+}
+
+func TestFetchIncrementUnderAdversary(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		typ := objtype.NewFetchIncrement(16)
+		for _, obj := range constructions(typ, n) {
+			alg := oneOpAlg(obj, objtype.Op{Name: objtype.OpFetchIncrement})
+			run, err := core.RunAll(alg, n, machine.ZeroTosses, core.Config{})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", obj.Name(), n, err)
+			}
+			assertPermutationOfCounts(t, run.Returns, n, fmt.Sprintf("%s n=%d", obj.Name(), n))
+			if err := core.CheckLemma51(run); err != nil {
+				t.Fatalf("%s n=%d: %v", obj.Name(), n, err)
+			}
+		}
+	}
+}
+
+func TestWaitFreeStepBoundsHoldUnderAdversary(t *testing.T) {
+	// The documented worst-case bounds must hold in adversary runs (the
+	// adversary is a legal schedule; wait-freedom is schedule-independent).
+	for _, n := range []int{1, 2, 3, 4, 8, 16, 32} {
+		typ := objtype.NewFetchIncrement(16)
+		for _, obj := range []Construction{
+			NewGroupUpdate(typ, n, 0),
+			NewHerlihy(typ, n, 0),
+		} {
+			alg := oneOpAlg(obj, objtype.Op{Name: objtype.OpFetchIncrement})
+			run, err := core.RunAll(alg, n, machine.ZeroTosses, core.Config{})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", obj.Name(), n, err)
+			}
+			bound := obj.StepBound()
+			for pid := 0; pid < n; pid++ {
+				if run.Steps[pid] > bound {
+					t.Fatalf("%s n=%d: p%d used %d steps, bound %d", obj.Name(), n, pid, run.Steps[pid], bound)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupUpdateLogarithmicVsHerlihyLinear(t *testing.T) {
+	// Adversary-forced worst-case steps: GroupUpdate grows with log n,
+	// Herlihy with n. Compare at two sizes to verify the growth shapes.
+	steps := func(obj Construction, n int) int {
+		alg := oneOpAlg(obj, objtype.Op{Name: objtype.OpFetchIncrement})
+		run, err := core.RunAll(alg, n, machine.ZeroTosses, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxSteps, _ := run.MaxSteps()
+		return maxSteps
+	}
+	typ := objtype.NewFetchIncrement(16)
+	gu16, gu64 := steps(NewGroupUpdate(typ, 16, 0), 16), steps(NewGroupUpdate(typ, 64, 0), 64)
+	he16, he64 := steps(NewHerlihy(typ, 16, 0), 16), steps(NewHerlihy(typ, 64, 0), 64)
+	// 4x processes: log grows by +2 levels (≤ +17 steps), linear by ~4x.
+	if gu64-gu16 > 20 {
+		t.Fatalf("group-update grew too fast: %d -> %d", gu16, gu64)
+	}
+	if he64 < 2*he16 {
+		t.Fatalf("herlihy did not grow linearly: %d -> %d", he16, he64)
+	}
+	if gu64 >= he64 {
+		t.Fatalf("group-update (%d) must beat herlihy (%d) at n=64", gu64, he64)
+	}
+}
+
+func TestQueueMultiUseLinearizable(t *testing.T) {
+	// Each process enqueues its id then dequeues; across all constructions
+	// and schedules the dequeued multiset must equal the enqueued multiset
+	// (no loss, no duplication), and every response must be non-Empty
+	// (n enqueues precede... actually interleavings may dequeue Empty —
+	// the queue may be empty when a fast process dequeues first. So check
+	// multiset consistency: non-empty responses are distinct enqueued ids.)
+	for _, n := range []int{2, 4, 8} {
+		typ := objtype.NewEmptyQueue()
+		for _, obj := range constructions(typ, n) {
+			alg := machine.New(obj.Name(), func(e *machine.Env) shmem.Value {
+				obj.Invoke(e, objtype.Op{Name: objtype.OpEnqueue, Arg: e.ID()})
+				return obj.Invoke(e, objtype.Op{Name: objtype.OpDequeue})
+			})
+			run, err := core.RunAll(alg, n, machine.ZeroTosses, core.Config{})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", obj.Name(), n, err)
+			}
+			seen := make(map[shmem.Value]bool)
+			for pid, v := range run.Returns {
+				if v == objtype.Empty {
+					continue
+				}
+				id, ok := v.(int)
+				if !ok || id < 0 || id >= n {
+					t.Fatalf("%s n=%d: p%d dequeued %v", obj.Name(), n, pid, v)
+				}
+				if seen[v] {
+					t.Fatalf("%s n=%d: item %v dequeued twice", obj.Name(), n, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestKUseSequenceNumbers(t *testing.T) {
+	// Each process performs 3 increments; the 3n responses must be exactly
+	// {0..3n-1}.
+	const n, k = 4, 3
+	typ := objtype.NewFetchIncrement(16)
+	for _, obj := range constructions(typ, n) {
+		alg := machine.New(obj.Name(), func(e *machine.Env) shmem.Value {
+			out := make([]shmem.Value, 0, k)
+			for i := 0; i < k; i++ {
+				out = append(out, obj.Invoke(e, objtype.Op{Name: objtype.OpFetchIncrement}))
+			}
+			return fmt.Sprintf("%v", out)
+		})
+		run, err := core.RunAll(alg, n, machine.ZeroTosses, core.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", obj.Name(), err)
+		}
+		// Root state after 3n increments: inspect via a follow-up solo run
+		// is overkill; instead collect all responses from the returns.
+		seen := make(map[string]bool)
+		for _, v := range run.Returns {
+			fields := strings.Fields(strings.Trim(v.(string), "[]"))
+			if len(fields) != k {
+				t.Fatalf("%s: unparseable return %v", obj.Name(), v)
+			}
+			for _, s := range fields {
+				if seen[s] {
+					t.Fatalf("%s: duplicate response %q", obj.Name(), s)
+				}
+				seen[s] = true
+			}
+		}
+		if len(seen) != n*k {
+			t.Fatalf("%s: %d distinct responses, want %d", obj.Name(), len(seen), n*k)
+		}
+	}
+}
+
+func TestSequentialScheduleRealTimeOrder(t *testing.T) {
+	// Under the sequential scheduler ops run one at a time, so responses
+	// must match a FIFO linearization in pid order exactly.
+	const n = 5
+	typ := objtype.NewFetchIncrement(16)
+	for _, obj := range constructions(typ, n) {
+		alg := oneOpAlg(obj, objtype.Op{Name: objtype.OpFetchIncrement})
+		mem := shmem.New()
+		res, err := sched.Execute(alg, n, mem, sched.Sequential{}, machine.ZeroTosses, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid := 0; pid < n; pid++ {
+			if want := objtype.HexUint(uint64(pid)); res.Returns[pid] != want {
+				t.Fatalf("%s: p%d returned %v, want %v (real-time order)", obj.Name(), pid, res.Returns[pid], want)
+			}
+		}
+	}
+}
+
+func TestTwoObjectsDisjointRegisterLayout(t *testing.T) {
+	// Two objects side by side must not interfere.
+	const n = 4
+	q := NewGroupUpdate(objtype.NewEmptyQueue(), n, 0)
+	ctr := NewHerlihy(objtype.NewFetchIncrement(8), n, q.Registers())
+	alg := machine.New("two-objects", func(e *machine.Env) shmem.Value {
+		q.Invoke(e, objtype.Op{Name: objtype.OpEnqueue, Arg: e.ID()})
+		v := ctr.Invoke(e, objtype.Op{Name: objtype.OpFetchIncrement})
+		return v
+	})
+	run, err := core.RunAll(alg, n, machine.ZeroTosses, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPermutationOfCounts(t, run.Returns, n, "two-objects")
+}
+
+func TestConstructionMetadata(t *testing.T) {
+	typ := objtype.NewFetchIncrement(8)
+	gu := NewGroupUpdate(typ, 5, 0)
+	if gu.Registers() != 16 { // leaves=8, 2L=16
+		t.Fatalf("GroupUpdate.Registers = %d, want 16", gu.Registers())
+	}
+	if gu.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", gu.Depth())
+	}
+	if gu.StepBound() != 8*3+3 {
+		t.Fatalf("StepBound = %d", gu.StepBound())
+	}
+	he := NewHerlihy(typ, 5, 0)
+	if he.Registers() != 6 {
+		t.Fatalf("Herlihy.Registers = %d, want 6", he.Registers())
+	}
+	ce := NewCentral(typ, 5, 0)
+	if ce.Registers() != 1 || ce.StepBound() != 0 {
+		t.Fatal("Central metadata wrong")
+	}
+	if gu.Name() != "group-update" || he.Name() != "herlihy" || ce.Name() != "central" {
+		t.Fatal("names changed")
+	}
+	if gu.Type() != typ || he.Type() != typ || ce.Type() != typ {
+		t.Fatal("Type() must return the instantiated type")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4}
+	for v, want := range cases {
+		if got := log2Ceil(v); got != want {
+			t.Errorf("log2Ceil(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestReplayResponseMissingRecordPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing record must panic")
+		}
+	}()
+	replayResponse(objtype.NewFetchIncrement(8), 2, Log{}, 0, 0)
+}
+
+func TestGroupUpdateStack(t *testing.T) {
+	// Theorem 6.2's stack: n pops of the wakeup stack — responses must be a
+	// permutation of 1..n, and exactly one process gets n (the bottom).
+	const n = 8
+	obj := NewGroupUpdate(objtype.NewWakeupStack(), n, 0)
+	alg := oneOpAlg(obj, objtype.Op{Name: objtype.OpPop})
+	run, err := core.RunAll(alg, n, machine.ZeroTosses, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[shmem.Value]bool)
+	for _, v := range run.Returns {
+		if seen[v] {
+			t.Fatalf("duplicate pop %v", v)
+		}
+		seen[v] = true
+	}
+	for i := 1; i <= n; i++ {
+		if !seen[i] {
+			t.Fatalf("missing item %d in pops %v", i, run.Returns)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package wakeup
+
+import (
+	"fmt"
+	"math/big"
+
+	"jayanti98/internal/machine"
+	"jayanti98/internal/objtype"
+)
+
+// ObjectClient is a shared object as seen by one process: Invoke performs
+// one operation on the object on behalf of the process behind p. The
+// lower-bound experiments pass a universal-construction-backed object
+// (package universal), so every Invoke expands into LL/SC/validate steps
+// that the adversary schedules; unit tests may pass a simpler client.
+type ObjectClient interface {
+	// Invoke applies op to the shared object and returns its response.
+	Invoke(p machine.Port, op objtype.Op) objtype.Value
+}
+
+// The reductions below prove the premise of Corollary 6.1 for each type of
+// Theorem 6.2: wakeup is solvable with at most two operations per process
+// on a single linearizable object of the type. Combined with Theorem 6.1,
+// any LL/SC/validate/swap/move implementation of such an object must cost
+// Ω(log n) shared accesses per operation in the worst case.
+
+// FetchIncrement returns the wakeup algorithm via a fetch&increment object
+// (initially 0, k ≥ log₂ n bits): each process increments once; the process
+// that receives n−1 — the last incrementer — returns 1.
+func FetchIncrement(obj ObjectClient) machine.Algorithm {
+	return machine.New("wakeup/fetch&increment", func(e *machine.Env) objtype.Value {
+		resp := obj.Invoke(e, objtype.Op{Name: objtype.OpFetchIncrement})
+		if resp == objtype.HexUint(uint64(e.N()-1)) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// FetchAnd returns the wakeup algorithm via a k ≥ n bit fetch&and object
+// (initially all ones): process i ANDs a mask with bit i cleared; the
+// process whose response has, among the first n bits, zeroes everywhere
+// except its own bit — the last ANDer — returns 1.
+func FetchAnd(obj ObjectClient) machine.Algorithm {
+	return machine.New("wakeup/fetch&and", func(e *machine.Env) objtype.Value {
+		n := e.N()
+		mask := objtype.AllOnes(n)
+		mask.SetBit(mask, e.ID(), 0)
+		resp := obj.Invoke(e, objtype.Op{Name: objtype.OpFetchAnd, Arg: objtype.Hex(mask)})
+		got := lowBits(resp, n)
+		want := new(big.Int).Lsh(big.NewInt(1), uint(e.ID()))
+		if got.Cmp(want) == 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// FetchOr returns the wakeup algorithm via a k ≥ n bit fetch&or object
+// (initially 0): process i ORs in bit i; the process whose response already
+// has every first-n bit set except its own returns 1.
+func FetchOr(obj ObjectClient) machine.Algorithm {
+	return machine.New("wakeup/fetch&or", func(e *machine.Env) objtype.Value {
+		n := e.N()
+		bit := new(big.Int).Lsh(big.NewInt(1), uint(e.ID()))
+		resp := obj.Invoke(e, objtype.Op{Name: objtype.OpFetchOr, Arg: objtype.Hex(bit)})
+		want := objtype.AllOnes(n)
+		want.SetBit(want, e.ID(), 0)
+		if lowBits(resp, n).Cmp(want) == 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// FetchComplement returns the wakeup algorithm via a k ≥ n bit
+// fetch&complement object (initially 0): process i flips bit i; the winner
+// condition is the same as fetch&or's, since each bit flips exactly once.
+func FetchComplement(obj ObjectClient) machine.Algorithm {
+	return machine.New("wakeup/fetch&complement", func(e *machine.Env) objtype.Value {
+		n := e.N()
+		resp := obj.Invoke(e, objtype.Op{Name: objtype.OpFetchComplement, Arg: e.ID()})
+		want := objtype.AllOnes(n)
+		want.SetBit(want, e.ID(), 0)
+		if lowBits(resp, n).Cmp(want) == 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// FetchMultiply returns the wakeup algorithm via an n-bit fetch&multiply
+// object (initially 1): each process multiplies by 2; the j-th multiplier's
+// response is 2^(j−1) mod 2^n, so exactly the n-th (last) multiplier
+// receives 2^(n−1) — the value whose doubling wraps to 0 — and returns 1.
+// (The paper's preliminary version states the winner condition as
+// "response = 0", which no process ever receives with k = n: the n-th
+// response is 2^(n−1) and the state wraps to 0 only after it. We use the
+// corrected, equivalent-in-spirit condition.)
+func FetchMultiply(obj ObjectClient) machine.Algorithm {
+	return machine.New("wakeup/fetch&multiply", func(e *machine.Env) objtype.Value {
+		n := e.N()
+		resp := obj.Invoke(e, objtype.Op{Name: objtype.OpFetchMultiply, Arg: objtype.HexUint(2)})
+		want := new(big.Int).Lsh(big.NewInt(1), uint(n-1))
+		if objtype.ParseHex(respHex(resp)).Cmp(want) == 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Queue returns the wakeup algorithm via a queue initially holding
+// 1, 2, ..., n with n at the rear: each process dequeues once; the process
+// that receives item n — necessarily the last dequeuer — returns 1.
+func Queue(obj ObjectClient) machine.Algorithm {
+	return machine.New("wakeup/queue", func(e *machine.Env) objtype.Value {
+		resp := obj.Invoke(e, objtype.Op{Name: objtype.OpDequeue})
+		if resp == e.N() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Stack returns the wakeup algorithm via a stack initially holding n items
+// with item n at the bottom: each process pops once; the process that
+// receives the bottom item — the last popper — returns 1.
+func Stack(obj ObjectClient) machine.Algorithm {
+	return machine.New("wakeup/stack", func(e *machine.Env) objtype.Value {
+		resp := obj.Invoke(e, objtype.Op{Name: objtype.OpPop})
+		if resp == e.N() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// ReadIncrement returns the two-operation wakeup algorithm via a k ≥ log₂ n
+// bit read/increment counter (initially 0): each process increments, then
+// reads; a process that reads n returns 1. The last process to perform its
+// read necessarily sees n, so condition (2) holds; a read of n implies all
+// n increments happened, so condition (3) holds. Because the winner spends
+// its ≥ log₄ n budget over two object operations, the per-operation lower
+// bound from this reduction is (log₄ n)/2.
+func ReadIncrement(obj ObjectClient) machine.Algorithm {
+	return machine.New("wakeup/read-increment", func(e *machine.Env) objtype.Value {
+		obj.Invoke(e, objtype.Op{Name: objtype.OpIncrement})
+		resp := obj.Invoke(e, objtype.Op{Name: objtype.OpRead})
+		if resp == objtype.HexUint(uint64(e.N())) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// lowBits interprets a hex-string response and masks it to its low n bits.
+func lowBits(resp objtype.Value, n int) *big.Int {
+	v := objtype.ParseHex(respHex(resp))
+	return v.And(v, objtype.AllOnes(n))
+}
+
+func respHex(resp objtype.Value) string {
+	s, ok := resp.(string)
+	if !ok {
+		panic(fmt.Sprintf("wakeup: object response %v (%T) is not a hex string", resp, resp))
+	}
+	return s
+}
+
+// ReductionSpec names one Theorem 6.2 reduction and how to build it.
+type ReductionSpec struct {
+	// Name is the reduction's short name ("fetch&increment", "queue", ...).
+	Name string
+	// Type returns the object type instance for an n-process system.
+	Type func(n int) objtype.Type
+	// Build wraps an ObjectClient into the wakeup algorithm.
+	Build func(obj ObjectClient) machine.Algorithm
+	// OpsPerProcess is the number of object operations each process
+	// performs (1, except 2 for read/increment).
+	OpsPerProcess int
+}
+
+// Reductions lists all Theorem 6.2 reductions in the paper's order.
+func Reductions() []ReductionSpec {
+	return []ReductionSpec{
+		{
+			Name:          "fetch&increment",
+			Type:          func(n int) objtype.Type { return objtype.NewFetchIncrement(bitsFor(n)) },
+			Build:         FetchIncrement,
+			OpsPerProcess: 1,
+		},
+		{
+			Name:          "fetch&and",
+			Type:          func(n int) objtype.Type { return objtype.NewFetchAnd(n) },
+			Build:         FetchAnd,
+			OpsPerProcess: 1,
+		},
+		{
+			Name:          "fetch&or",
+			Type:          func(n int) objtype.Type { return objtype.NewFetchOr(n) },
+			Build:         FetchOr,
+			OpsPerProcess: 1,
+		},
+		{
+			Name:          "fetch&complement",
+			Type:          func(n int) objtype.Type { return objtype.NewFetchComplement(n) },
+			Build:         FetchComplement,
+			OpsPerProcess: 1,
+		},
+		{
+			Name:          "fetch&multiply",
+			Type:          func(n int) objtype.Type { return objtype.NewFetchMultiply(n) },
+			Build:         FetchMultiply,
+			OpsPerProcess: 1,
+		},
+		{
+			Name:          "queue",
+			Type:          func(n int) objtype.Type { return objtype.NewWakeupQueue() },
+			Build:         Queue,
+			OpsPerProcess: 1,
+		},
+		{
+			Name:          "stack",
+			Type:          func(n int) objtype.Type { return objtype.NewWakeupStack() },
+			Build:         Stack,
+			OpsPerProcess: 1,
+		},
+		{
+			Name:          "read-increment",
+			Type:          func(n int) objtype.Type { return objtype.NewReadIncrement(bitsFor(n + 1)) },
+			Build:         ReadIncrement,
+			OpsPerProcess: 2,
+		},
+	}
+}
+
+// bitsFor returns the number of bits needed to represent values up to n−1,
+// at least 1 (k ≥ log₂ n for the counter-based reductions).
+func bitsFor(n int) int {
+	bits := 1
+	for (1 << bits) < n {
+		bits++
+	}
+	return bits
+}
