@@ -1,0 +1,32 @@
+# Developer and CI entry points. `make ci` is what .github/workflows/ci.yml
+# runs: build, vet, the full test suite, the race-detector suite, and a
+# parallel lbreport smoke run.
+
+GO ?= go
+
+.PHONY: build vet test race smoke bench report ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke: the full report pipeline at quick sizes with a 4-worker sweep.
+smoke:
+	$(GO) run ./cmd/lbreport -quick -parallel 4 > /dev/null
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchmem .
+
+# Regenerate the captured experiment report (full sizes, all CPUs).
+report:
+	$(GO) run ./cmd/lbreport -o EXPERIMENTS.report.md
+
+ci: build vet test race smoke

@@ -7,6 +7,7 @@ package jayanti98_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"jayanti98/internal/moveplan"
 	"jayanti98/internal/objtype"
 	"jayanti98/internal/shmem"
+	"jayanti98/internal/sweep"
 	"jayanti98/internal/universal"
 	"jayanti98/internal/wakeup"
 )
@@ -47,14 +49,16 @@ func BenchmarkE1WakeupForcedSteps(b *testing.B) {
 }
 
 // BenchmarkE2RandomizedWakeup estimates the expected winner cost of the
-// randomized double-register algorithm (Lemma 3.1 / Theorem 6.1).
+// randomized double-register algorithm (Lemma 3.1 / Theorem 6.1) through
+// the parallel sweep engine, at the same worker count cmd/lbreport uses.
 func BenchmarkE2RandomizedWakeup(b *testing.B) {
 	for _, n := range []int{4, 16, 64} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var mean float64
 			for i := 0; i < b.N; i++ {
-				res, err := lowerbound.ExpectedComplexity(
-					func(int) machine.Algorithm { return wakeup.DoubleRegister() }, n, 10, int64(i))
+				res, err := lowerbound.ExpectedComplexityParallel(
+					func(int) machine.Algorithm { return wakeup.DoubleRegister() },
+					n, 10, int64(i), runtime.GOMAXPROCS(0))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -63,6 +67,58 @@ func BenchmarkE2RandomizedWakeup(b *testing.B) {
 			b.ReportMetric(mean, "E-winner-steps")
 		})
 	}
+}
+
+// BenchmarkSweepEngine measures the worker-pool sweep engine on the E1
+// set-register grid at increasing parallelism — the wall-clock win of
+// `lbreport -parallel N` over the serial run, isolated from rendering.
+func BenchmarkSweepEngine(b *testing.B) {
+	ns := []int{2, 4, 8, 16, 32, 64}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := lowerbound.SweepWakeupParallel(
+					func(n int) machine.Algorithm { return wakeup.SetRegister() },
+					ns, machine.ZeroTosses, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(ns) {
+					b.Fatalf("got %d results", len(results))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5IndistinguishabilityParallel measures the fanned-out
+// per-process (S,A)-replays — the report's quadratic hot spot.
+func BenchmarkE5IndistinguishabilityParallel(b *testing.B) {
+	const n = 16
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				checked, err := lowerbound.VerifyIndistinguishabilityParallel(
+					wakeup.SetRegister(), n, machine.ZeroTosses, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if checked != n {
+					b.Fatalf("checked %d", checked)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSeedDerivation measures the per-item seed hash — it must stay
+// negligible next to a single simulated run.
+func BenchmarkSeedDerivation(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += sweep.Seed("E2", "double-register", 64, i)
+	}
+	_ = sink
 }
 
 // BenchmarkE3TypeLowerBounds runs every Theorem 6.2 reduction over the

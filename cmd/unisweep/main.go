@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	unisweep [-max 256] [-type fetch&increment|queue|stack]
+//	unisweep [-max 256] [-type fetch&increment|queue|stack] [-parallel N]
+//
+// -parallel fans each construction's n-grid out over N worker goroutines
+// through the sweep engine (default: one per CPU; 1 reproduces the serial
+// sweep). Output is identical at every parallelism level.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"jayanti98/internal/lowerbound"
 	"jayanti98/internal/objtype"
 	"jayanti98/internal/report"
+	"jayanti98/internal/sweep"
 	"jayanti98/internal/universal"
 )
 
@@ -26,6 +31,7 @@ func main() {
 	log.SetPrefix("unisweep: ")
 	maxN := flag.Int("max", 256, "largest process count (sweep doubles from 2)")
 	typeName := flag.String("type", "fetch&increment", "object type to instantiate")
+	parallel := flag.Int("parallel", 0, "sweep worker goroutines (default one per CPU; 1 = serial)")
 	flag.Parse()
 
 	var ns []int
@@ -37,20 +43,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sweeps := []struct {
-		name string
-		mk   func(n int) universal.Construction
-	}{
-		{"group-update", func(n int) universal.Construction { return universal.NewGroupUpdate(mkType(n), n, 0) }},
-		{"herlihy", func(n int) universal.Construction { return universal.NewHerlihy(mkType(n), n, 0) }},
-		{"central", func(n int) universal.Construction { return universal.NewCentral(mkType(n), n, 0) }},
-	}
-	for _, s := range sweeps {
-		results, growth, err := lowerbound.SweepConstruction(s.mk, op, ns)
+	for _, name := range universal.Names() {
+		name := name
+		mk := func(n int) universal.Construction {
+			return universal.Must(universal.New(name, mkType(n), n, 0))
+		}
+		results, growth, err := lowerbound.SweepConstructionParallel(mk, op, ns, sweep.Workers(*parallel))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\n%s on %s — measured growth: %s\n\n", s.name, mkType(2).Name(), growth)
+		fmt.Printf("\n%s on %s — measured growth: %s\n\n", name, mkType(2).Name(), growth)
 		tbl := report.NewTable("n", "forced steps/op", "documented bound", "Ω ⌈log₄ n⌉")
 		for _, r := range results {
 			bound := "not wait-free"

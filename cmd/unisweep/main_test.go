@@ -1,6 +1,42 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+
+	"jayanti98/internal/lowerbound"
+	"jayanti98/internal/universal"
+)
+
+// TestSweepEveryConstructionParallelMatchesSerial runs the same small
+// sweep main performs, over every registered construction, at parallelism
+// 1 and 4, and requires identical results — the engine's determinism
+// contract on this command's workload.
+func TestSweepEveryConstructionParallelMatchesSerial(t *testing.T) {
+	mkType, op, err := typeFor("fetch&increment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := []int{2, 4, 8, 16}
+	for _, name := range universal.Names() {
+		name := name
+		mk := func(n int) universal.Construction {
+			return universal.Must(universal.New(name, mkType(n), n, 0))
+		}
+		serial, sGrowth, err := lowerbound.SweepConstructionParallel(mk, op, ns, 1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		par, pGrowth, err := lowerbound.SweepConstructionParallel(mk, op, ns, 4)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if !reflect.DeepEqual(serial, par) || sGrowth != pGrowth {
+			t.Fatalf("%s: parallel sweep diverged:\nserial  %+v (%s)\nparallel %+v (%s)",
+				name, serial, sGrowth, par, pGrowth)
+		}
+	}
+}
 
 func TestTypeForKnowsEveryType(t *testing.T) {
 	for _, name := range []string{"fetch&increment", "queue", "stack"} {

@@ -59,6 +59,23 @@ func New(width, base int) *Network {
 	return nw
 }
 
+// Depth returns the balancer depth of a bitonic network of the given
+// width (rounded up to a power of two, minimum 2) without building the
+// descriptor — d(w) = log₂w·(log₂w+1)/2. Report code uses it to quote the
+// lockstep traversal cost of a width-n network without allocating one per
+// table row.
+func Depth(width int) int {
+	w := 2
+	for w < width {
+		w *= 2
+	}
+	lg := 0
+	for v := w; v > 1; v /= 2 {
+		lg++
+	}
+	return lg * (lg + 1) / 2
+}
+
 // Width returns the (power-of-two) network width.
 func (nw *Network) Width() int { return nw.width }
 
@@ -67,13 +84,7 @@ func (nw *Network) Registers() int { return nw.nBalancers + nw.width }
 
 // Depth returns the number of balancers on every input-to-output path:
 // d(w) = log₂w·(log₂w+1)/2.
-func (nw *Network) Depth() int {
-	lg := 0
-	for v := nw.width; v > 1; v /= 2 {
-		lg++
-	}
-	return lg * (lg + 1) / 2
-}
+func (nw *Network) Depth() int { return Depth(nw.width) }
 
 // Balancers returns the total number of balancers in the network.
 func (nw *Network) Balancers() int { return nw.nBalancers }

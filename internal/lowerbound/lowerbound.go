@@ -16,6 +16,14 @@
 //	E8  SweepConstruction (herlihy)       — baseline: Θ(n)
 //	E9  MoveScheduleComparison            — Section 4 motivation
 //	E10 RMWUnitTime                       — Section 7 observation
+//
+// Every sweep has a *Parallel variant that fans its grid out over worker
+// goroutines through the engine in package sweep. The parallel variants
+// return byte-identical results at every parallelism level: each grid
+// point owns its algorithm, construction, memory, and (for randomized
+// sweeps) an RNG seed derived from its coordinates, and results are
+// collected in index order behind a barrier. The plain functions are the
+// parallel ones at parallelism 1.
 package lowerbound
 
 import (
@@ -26,6 +34,7 @@ import (
 	"jayanti98/internal/objtype"
 	"jayanti98/internal/shmem"
 	"jayanti98/internal/stats"
+	"jayanti98/internal/sweep"
 	"jayanti98/internal/universal"
 	"jayanti98/internal/wakeup"
 )
@@ -106,15 +115,19 @@ func MeasureWakeup(alg machine.Algorithm, n int, ta machine.TossAssignment) (Wak
 
 // SweepWakeup measures mk(n) for each n in ns (E1/E3 sweeps).
 func SweepWakeup(mk func(n int) machine.Algorithm, ns []int, ta machine.TossAssignment) ([]WakeupResult, error) {
-	out := make([]WakeupResult, 0, len(ns))
-	for _, n := range ns {
-		r, err := MeasureWakeup(mk(n), n, ta)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return SweepWakeupParallel(mk, ns, ta, 1)
+}
+
+// SweepWakeupParallel is SweepWakeup fanned out over up to `parallel`
+// worker goroutines (≤ 0 means one per CPU). Each grid point builds its
+// own algorithm instance via mk and runs against its own simulated memory,
+// so work items share nothing; results come back in ns order and are
+// identical to the serial sweep at every parallelism level. ta must be a
+// pure function of (pid, j), as HashTosses and machine.ZeroTosses are.
+func SweepWakeupParallel(mk func(n int) machine.Algorithm, ns []int, ta machine.TossAssignment, parallel int) ([]WakeupResult, error) {
+	return sweep.Map(parallel, len(ns), func(i int) (WakeupResult, error) {
+		return MeasureWakeup(mk(ns[i]), ns[i], ta)
+	})
 }
 
 // ExpectedResult is a Monte-Carlo estimate of the expected shared-access
@@ -137,21 +150,44 @@ type ExpectedResult struct {
 // ExpectedComplexity estimates the expected complexity of mk(n) over
 // `samples` pseudo-random toss assignments derived from seed.
 func ExpectedComplexity(mk func(n int) machine.Algorithm, n, samples int, seed int64) (ExpectedResult, error) {
+	return ExpectedComplexityParallel(mk, n, samples, seed, 1)
+}
+
+// ExpectedComplexityParallel is ExpectedComplexity with the Monte-Carlo
+// samples fanned out over up to `parallel` workers (≤ 0 means one per
+// CPU). Sample i's toss assignment is seeded with sweep.Derive(seed, i) —
+// a pure function of (seed, i) — so every sample sees the same randomness
+// at every parallelism level and the estimate is byte-for-byte
+// reproducible.
+func ExpectedComplexityParallel(mk func(n int) machine.Algorithm, n, samples int, seed int64, parallel int) (ExpectedResult, error) {
+	res := ExpectedResult{
+		Algorithm: mk(n).Name(),
+		N:         n,
+		Samples:   samples,
+		Bound:     core.Log4Ceil(n),
+	}
+	type sample struct {
+		winner, max float64
+		ok          bool
+	}
+	out, err := sweep.Map(parallel, samples, func(i int) (sample, error) {
+		r, err := MeasureWakeup(mk(n), n, HashTosses(sweep.Derive(seed, i)))
+		if err != nil {
+			return sample{}, err
+		}
+		return sample{winner: float64(r.WinnerSteps), max: float64(r.MaxSteps), ok: r.OK()}, nil
+	})
+	if err != nil {
+		return res, err
+	}
 	winner := make([]float64, 0, samples)
 	maxs := make([]float64, 0, samples)
-	res := ExpectedResult{N: n, Samples: samples, Bound: core.Log4Ceil(n)}
-	for i := 0; i < samples; i++ {
-		alg := mk(n)
-		res.Algorithm = alg.Name()
-		r, err := MeasureWakeup(alg, n, HashTosses(seed+int64(i)))
-		if err != nil {
-			return res, err
-		}
-		if !r.OK() {
+	for _, s := range out {
+		if !s.ok {
 			res.Failures++
 		}
-		winner = append(winner, float64(r.WinnerSteps))
-		maxs = append(maxs, float64(r.MaxSteps))
+		winner = append(winner, s.winner)
+		maxs = append(maxs, s.max)
 	}
 	res.Winner = stats.Summarize(winner)
 	res.Max = stats.Summarize(maxs)
@@ -163,23 +199,32 @@ func ExpectedComplexity(mk func(n int) machine.Algorithm, n, samples int, seed i
 // indistinguishable from the (All,A)-run. Returns the number of subsets
 // checked and the first violation, if any.
 func VerifyIndistinguishability(alg machine.Algorithm, n int, ta machine.TossAssignment) (int, error) {
+	return VerifyIndistinguishabilityParallel(alg, n, ta, 1)
+}
+
+// VerifyIndistinguishabilityParallel is VerifyIndistinguishability with
+// the per-process (S,A)-run replays fanned out over up to `parallel`
+// workers (≤ 0 means one per CPU). The replays only read the shared
+// (All,A)-run (each builds its own memory and machines), so they are
+// independent; the checked count and first violation match the serial
+// pid-order scan.
+func VerifyIndistinguishabilityParallel(alg machine.Algorithm, n int, ta machine.TossAssignment, parallel int) (int, error) {
 	run, err := core.RunAll(alg, n, ta, core.Config{})
 	if err != nil {
 		return 0, err
 	}
-	checked := 0
-	for pid := 0; pid < n; pid++ {
+	out, err := sweep.Map(parallel, n, func(pid int) (struct{}, error) {
 		s := run.UPProcAt(pid, run.Steps[pid]).Clone()
 		sub, err := core.RunSub(run, s)
 		if err != nil {
-			return checked, fmt.Errorf("lowerbound: p%d: %w", pid, err)
+			return struct{}{}, fmt.Errorf("lowerbound: p%d: %w", pid, err)
 		}
 		if err := core.CheckIndist(run, sub); err != nil {
-			return checked, fmt.Errorf("lowerbound: p%d (S=%v): %w", pid, s, err)
+			return struct{}{}, fmt.Errorf("lowerbound: p%d (S=%v): %w", pid, s, err)
 		}
-		checked++
-	}
-	return checked, nil
+		return struct{}{}, nil
+	})
+	return len(out), err
 }
 
 // GroupUpdateClient adapts a universal construction into the ObjectClient
@@ -197,17 +242,9 @@ func (c constructionClient) Invoke(p machine.Port, op objtype.Op) objtype.Value 
 // over an object implemented by the named construction ("group-update",
 // "herlihy", or "central").
 func BuildReduction(spec wakeup.ReductionSpec, construction string, n int) (machine.Algorithm, universal.Construction, error) {
-	typ := spec.Type(n)
-	var obj universal.Construction
-	switch construction {
-	case "group-update":
-		obj = universal.NewGroupUpdate(typ, n, 0)
-	case "herlihy":
-		obj = universal.NewHerlihy(typ, n, 0)
-	case "central":
-		obj = universal.NewCentral(typ, n, 0)
-	default:
-		return nil, nil, fmt.Errorf("lowerbound: unknown construction %q", construction)
+	obj, err := universal.New(construction, spec.Type(n), n, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lowerbound: %w", err)
 	}
 	return spec.Build(constructionClient{obj}), obj, nil
 }
@@ -229,25 +266,31 @@ type ReductionResult struct {
 
 // SweepReduction measures one reduction over a construction for each n.
 func SweepReduction(spec wakeup.ReductionSpec, construction string, ns []int, ta machine.TossAssignment) ([]ReductionResult, error) {
-	out := make([]ReductionResult, 0, len(ns))
-	for _, n := range ns {
+	return SweepReductionParallel(spec, construction, ns, ta, 1)
+}
+
+// SweepReductionParallel is SweepReduction fanned out over up to
+// `parallel` workers (≤ 0 means one per CPU). Every grid point builds its
+// own construction instance (fresh registers), so items share nothing.
+func SweepReductionParallel(spec wakeup.ReductionSpec, construction string, ns []int, ta machine.TossAssignment, parallel int) ([]ReductionResult, error) {
+	return sweep.Map(parallel, len(ns), func(i int) (ReductionResult, error) {
+		n := ns[i]
 		alg, obj, err := BuildReduction(spec, construction, n)
 		if err != nil {
-			return out, err
+			return ReductionResult{}, err
 		}
 		wr, err := MeasureWakeup(alg, n, ta)
 		if err != nil {
-			return out, err
+			return ReductionResult{}, err
 		}
-		out = append(out, ReductionResult{
+		return ReductionResult{
 			WakeupResult:  wr,
 			Type:          obj.Type().Name(),
 			Construction:  construction,
 			OpsPerProcess: spec.OpsPerProcess,
 			PerOpBound:    core.Log4Ceil(n) / spec.OpsPerProcess,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // ConstructionResult is one measurement of a universal construction's
@@ -291,14 +334,23 @@ func MeasureConstruction(mk func(n int) universal.Construction, op func(n, pid i
 // SweepConstruction measures the construction across ns and classifies the
 // growth of its forced cost.
 func SweepConstruction(mk func(n int) universal.Construction, op func(n, pid int) objtype.Op, ns []int) ([]ConstructionResult, stats.Growth, error) {
-	out := make([]ConstructionResult, 0, len(ns))
+	return SweepConstructionParallel(mk, op, ns, 1)
+}
+
+// SweepConstructionParallel is SweepConstruction fanned out over up to
+// `parallel` workers (≤ 0 means one per CPU). mk is invoked once per grid
+// point inside its work item, so each measurement owns its construction
+// and simulated memory; the growth fit happens after the barrier, over the
+// index-ordered results.
+func SweepConstructionParallel(mk func(n int) universal.Construction, op func(n, pid int) objtype.Op, ns []int, parallel int) ([]ConstructionResult, stats.Growth, error) {
+	out, err := sweep.Map(parallel, len(ns), func(i int) (ConstructionResult, error) {
+		return MeasureConstruction(mk, op, ns[i])
+	})
+	if err != nil {
+		return out, "", err
+	}
 	ys := make([]float64, 0, len(ns))
-	for _, n := range ns {
-		r, err := MeasureConstruction(mk, op, n)
-		if err != nil {
-			return out, "", err
-		}
-		out = append(out, r)
+	for _, r := range out {
 		ys = append(ys, float64(r.MaxSteps))
 	}
 	growth := stats.Growth("")

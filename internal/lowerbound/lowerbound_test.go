@@ -1,15 +1,150 @@
 package lowerbound
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 
 	"jayanti98/internal/core"
 	"jayanti98/internal/machine"
 	"jayanti98/internal/objtype"
 	"jayanti98/internal/stats"
+	"jayanti98/internal/sweep"
 	"jayanti98/internal/universal"
 	"jayanti98/internal/wakeup"
 )
+
+// correctWakeupAlgorithms is every correct wakeup algorithm in the repo —
+// the grid the race sweep and the determinism tests cover.
+func correctWakeupAlgorithms() []struct {
+	name string
+	mk   func(n int) machine.Algorithm
+} {
+	return []struct {
+		name string
+		mk   func(n int) machine.Algorithm
+	}{
+		{"set-register", func(int) machine.Algorithm { return wakeup.SetRegister() }},
+		{"move-courier", func(int) machine.Algorithm { return wakeup.MoveCourier() }},
+		{"double-register", func(int) machine.Algorithm { return wakeup.DoubleRegister() }},
+		{"counting-network", wakeup.CountingNetwork},
+	}
+}
+
+// TestSweepWakeupParallelMatchesSerial pins the engine's determinism
+// contract on every wakeup algorithm: identical results at parallelism 1,
+// 4, and 16.
+func TestSweepWakeupParallelMatchesSerial(t *testing.T) {
+	ns := []int{2, 4, 8, 16}
+	for _, alg := range correctWakeupAlgorithms() {
+		serial, err := SweepWakeupParallel(alg.mk, ns, machine.ZeroTosses, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.name, err)
+		}
+		for _, parallel := range []int{4, 16} {
+			par, err := SweepWakeupParallel(alg.mk, ns, machine.ZeroTosses, parallel)
+			if err != nil {
+				t.Fatalf("%s parallel=%d: %v", alg.name, parallel, err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("%s parallel=%d diverged:\nserial   %+v\nparallel %+v", alg.name, parallel, serial, par)
+			}
+		}
+	}
+}
+
+// TestRaceSmallSweepEveryAlgorithm is the satellite -race test: a small
+// sweep at parallelism 4 over every algorithm (plus a reduction sweep and
+// a Monte-Carlo sweep), so `go test -race` exercises all the concurrent
+// paths the report uses.
+func TestRaceSmallSweepEveryAlgorithm(t *testing.T) {
+	ns := []int{2, 4, 8}
+	for _, alg := range correctWakeupAlgorithms() {
+		results, err := SweepWakeupParallel(alg.mk, ns, machine.ZeroTosses, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.name, err)
+		}
+		for _, r := range results {
+			if !r.OK() {
+				t.Fatalf("%s n=%d: %+v", alg.name, r.N, r)
+			}
+		}
+	}
+	specs := wakeup.Reductions()
+	if _, err := SweepReductionParallel(specs[0], "group-update", ns, machine.ZeroTosses, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpectedComplexityParallel(func(int) machine.Algorithm { return wakeup.DoubleRegister() },
+		8, 12, sweep.Seed("race", "double-register", 8, 0), 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpectedComplexityParallelMatchesSerial: the Monte-Carlo estimate
+// must not depend on how samples are scheduled over workers.
+func TestExpectedComplexityParallelMatchesSerial(t *testing.T) {
+	mk := func(int) machine.Algorithm { return wakeup.DoubleRegister() }
+	serial, err := ExpectedComplexityParallel(mk, 16, 20, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExpectedComplexityParallel(mk, 16, 20, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel estimate diverged:\nserial   %+v\nparallel %+v", serial, par)
+	}
+	// And the serial wrapper is the parallel path at 1 worker.
+	wrapped, err := ExpectedComplexity(mk, 16, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wrapped) {
+		t.Fatal("ExpectedComplexity must equal its parallelism-1 form")
+	}
+}
+
+// TestVerifyIndistinguishabilityParallelMatchesSerial covers the fanned
+// per-process (S,A)-replays of E5.
+func TestVerifyIndistinguishabilityParallelMatchesSerial(t *testing.T) {
+	for _, alg := range []machine.Algorithm{wakeup.SetRegister(), wakeup.MoveCourier()} {
+		serial, serialErr := VerifyIndistinguishabilityParallel(alg, 8, machine.ZeroTosses, 1)
+		par, parErr := VerifyIndistinguishabilityParallel(alg, 8, machine.ZeroTosses, 4)
+		if (serialErr == nil) != (parErr == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", alg.Name(), serialErr, parErr)
+		}
+		if serial != par || serial != 8 {
+			t.Fatalf("%s: checked %d (serial) vs %d (parallel), want 8", alg.Name(), serial, par)
+		}
+	}
+}
+
+// TestMoveScheduleComparisonConcurrent runs the E9 comparison from many
+// goroutines with derived seeds — the satellite RNG bugfix's regression
+// test: no shared rand state, deterministic per-seed results.
+func TestMoveScheduleComparisonConcurrent(t *testing.T) {
+	const n = 64
+	want := make([][]MoveScheduleResult, 4)
+	for i := range want {
+		want[i] = MoveScheduleComparison(n, sweep.Seed("E9", "move-schedule", n, i))
+	}
+	var wg sync.WaitGroup
+	got := make([][]MoveScheduleResult, len(want))
+	for i := range want {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = MoveScheduleComparison(n, sweep.Seed("E9", "move-schedule", n, i))
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("seed %d: concurrent run diverged from serial run", i)
+		}
+	}
+}
 
 func TestHashTossesDeterministicAndSpread(t *testing.T) {
 	ta1, ta2 := HashTosses(1), HashTosses(1)

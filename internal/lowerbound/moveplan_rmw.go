@@ -25,6 +25,12 @@ type MoveScheduleResult struct {
 // MoveScheduleComparison builds the Section 4 chain workload — p_i performs
 // move(R_i, R_{i+1}) — plus a random workload, and reports the information
 // leakage of the naive pid-order schedule versus the secretive schedule.
+//
+// Safe for concurrent use: the random workload comes from a function-local
+// RNG seeded by the caller, so no state is shared between calls. Parallel
+// sweeps must NOT hoist the RNG out and share it (an unlocked *rand.Rand
+// is a data race — see sched.Random); they pass each grid point its own
+// seed, derived from the point's coordinates via sweep.Seed.
 func MoveScheduleComparison(n int, seed int64) []MoveScheduleResult {
 	chain := make(moveplan.Plan, n)
 	for i := 0; i < n; i++ {

@@ -5,7 +5,9 @@ package report
 import (
 	"fmt"
 	"io"
+	"regexp"
 	"strings"
+	"time"
 )
 
 // Table is a simple markdown table builder.
@@ -95,4 +97,20 @@ func Bool(ok bool) string {
 // Section writes a markdown heading.
 func Section(w io.Writer, level int, format string, args ...any) {
 	fmt.Fprintf(w, "\n%s %s\n\n", strings.Repeat("#", level), fmt.Sprintf(format, args...))
+}
+
+// Timing writes the per-experiment wall-clock line cmd/lbreport appends
+// after each section. The line is the report's only nondeterministic
+// content; StripTimings removes it for byte-for-byte comparisons.
+func Timing(w io.Writer, label string, d time.Duration) {
+	fmt.Fprintf(w, "\n_%s wall-clock: %s_\n", label, d.Round(time.Millisecond))
+}
+
+var timingLine = regexp.MustCompile(`(?m)^\n?_[^_\n]* wall-clock: [^_\n]*_\n`)
+
+// StripTimings removes every Timing line from a rendered report, so
+// reports produced at different parallelism levels (or on different
+// machines) can be compared byte for byte.
+func StripTimings(s string) string {
+	return timingLine.ReplaceAllString(s, "")
 }

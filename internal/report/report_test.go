@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableRendering(t *testing.T) {
@@ -55,5 +56,43 @@ func TestSection(t *testing.T) {
 	Section(&b, 2, "E%d %s", 1, "wakeup")
 	if !strings.Contains(b.String(), "## E1 wakeup") {
 		t.Fatalf("Section = %q", b.String())
+	}
+}
+
+func TestTimingRoundTripsThroughStrip(t *testing.T) {
+	var with, without strings.Builder
+	for _, w := range []*strings.Builder{&with, &without} {
+		Section(w, 2, "E1 — wakeup")
+		tbl := NewTable("n", "steps")
+		tbl.AddRow(8, 12)
+		if _, err := tbl.WriteTo(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	Timing(&with, "E1", 1234567*time.Microsecond)
+	if !strings.Contains(with.String(), "_E1 wall-clock: 1.235s_") {
+		t.Fatalf("timing line missing or misrendered:\n%s", with.String())
+	}
+	if got := StripTimings(with.String()); got != without.String() {
+		t.Fatalf("StripTimings did not recover the timing-free report:\ngot  %q\nwant %q", got, without.String())
+	}
+	// Reports without timing lines pass through untouched.
+	if got := StripTimings(without.String()); got != without.String() {
+		t.Fatalf("StripTimings mangled a timing-free report: %q", got)
+	}
+}
+
+func TestStripTimingsMiddleOfReport(t *testing.T) {
+	var b strings.Builder
+	Section(&b, 2, "E1")
+	Timing(&b, "E1", 5*time.Millisecond)
+	Section(&b, 2, "E2")
+	Timing(&b, "E2", 7*time.Millisecond)
+	got := StripTimings(b.String())
+	if strings.Contains(got, "wall-clock") {
+		t.Fatalf("timing lines survived: %q", got)
+	}
+	if !strings.Contains(got, "## E1") || !strings.Contains(got, "## E2") {
+		t.Fatalf("section content lost: %q", got)
 	}
 }

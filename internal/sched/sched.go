@@ -9,6 +9,11 @@
 // round-robin, sequential, and seeded-random schedulers; the paper's
 // adversary scheduler (Figure 2) lives in package core because it needs the
 // round/phase structure and UP-set bookkeeping.
+//
+// Schedulers are stateful and owned by one execution: never share a
+// Scheduler instance (in particular Random, which wraps an unlocked
+// *rand.Rand) between concurrently running Executes — build one per
+// execution with a derived seed instead.
 package sched
 
 import (
@@ -57,11 +62,19 @@ func (Sequential) Next(_ int, live []int) int { return live[0] }
 
 // Random picks a uniformly random live process using a seeded source, so
 // runs are reproducible.
+//
+// NOT safe for concurrent use: it wraps an unlocked *rand.Rand, so sharing
+// one Random across goroutines — e.g. across the workers of a parallel
+// sweep — is a data race and destroys reproducibility even where the race
+// is benign. Give every worker its own Random, built with a seed derived
+// from the work item's coordinates (see sweep.Seed / sweep.Derive).
 type Random struct {
 	rng *rand.Rand
 }
 
-// NewRandom returns a Random scheduler with the given seed.
+// NewRandom returns a Random scheduler with the given seed. Two Randoms
+// with the same seed produce the same pick sequence; concurrent executions
+// must each build their own.
 func NewRandom(seed int64) *Random {
 	return &Random{rng: rand.New(rand.NewSource(seed))}
 }

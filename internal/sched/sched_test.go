@@ -2,6 +2,7 @@ package sched
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"jayanti98/internal/machine"
@@ -150,5 +151,66 @@ func TestSchedulerNames(t *testing.T) {
 		(Sequential{}).Name() != "sequential" ||
 		NewRandom(1).Name() != "random" {
 		t.Fatal("scheduler names changed")
+	}
+}
+
+// TestRandomSchedulerSeedDeterminism: equal seeds give equal pick
+// sequences, distinct seeds diverge — the property the parallel sweeps'
+// derived-seed scheme relies on.
+func TestRandomSchedulerSeedDeterminism(t *testing.T) {
+	live := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	a, b, c := NewRandom(7), NewRandom(7), NewRandom(8)
+	same, diff := true, false
+	for i := 0; i < 100; i++ {
+		x, y, z := a.Next(i, live), b.Next(i, live), c.Next(i, live)
+		if x != y {
+			same = false
+		}
+		if x != z {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed must give the same schedule")
+	}
+	if !diff {
+		t.Fatal("different seeds should give different schedules")
+	}
+}
+
+// TestRandomSchedulerPerWorkerInstances is the regression test for the
+// shared-RNG race: each worker owning its own derived-seed Random (never
+// one shared instance) must be race-free and reproduce the serial
+// schedule exactly. Run under -race this fails loudly if an execution path
+// ever shares the unlocked *rand.Rand.
+func TestRandomSchedulerPerWorkerInstances(t *testing.T) {
+	const workers = 4
+	serial := make([][]int, workers)
+	live := []int{0, 1, 2, 3, 4, 5}
+	for w := 0; w < workers; w++ {
+		s := NewRandom(int64(100 + w))
+		for i := 0; i < 200; i++ {
+			serial[w] = append(serial[w], s.Next(i, live))
+		}
+	}
+	got := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := NewRandom(int64(100 + w)) // per-worker instance, derived seed
+			for i := 0; i < 200; i++ {
+				got[w] = append(got[w], s.Next(i, live))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range serial {
+		for i := range serial[w] {
+			if serial[w][i] != got[w][i] {
+				t.Fatalf("worker %d pick %d: %d != serial %d", w, i, got[w][i], serial[w][i])
+			}
+		}
 	}
 }

@@ -30,6 +30,7 @@ package universal
 
 import (
 	"fmt"
+	"strings"
 
 	"jayanti98/internal/machine"
 	"jayanti98/internal/objtype"
@@ -133,6 +134,35 @@ type Construction interface {
 	// StepBound returns a worst-case bound on shared accesses per Invoke,
 	// or 0 if the construction is not wait-free.
 	StepBound() int
+}
+
+// Names lists the provided constructions in presentation order — the
+// accepted names for New.
+func Names() []string { return []string{"group-update", "herlihy", "central"} }
+
+// New builds the named construction over typ for n processes with its
+// registers starting at base. Constructions carry no mutable Go state
+// (everything lives in shared registers), but distinct simulated runs must
+// not share one instance's registers — sweep work items should each build
+// their own via New.
+func New(name string, typ objtype.Type, n, base int) (Construction, error) {
+	switch name {
+	case "group-update":
+		return NewGroupUpdate(typ, n, base), nil
+	case "herlihy":
+		return NewHerlihy(typ, n, base), nil
+	case "central":
+		return NewCentral(typ, n, base), nil
+	}
+	return nil, fmt.Errorf("universal: unknown construction %q (want %s)", name, strings.Join(Names(), ", "))
+}
+
+// Must unwraps a New result whose name is known at compile time.
+func Must(c Construction, err error) Construction {
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // replayResponse computes the response of record (pid, seq) by replaying
