@@ -1,10 +1,16 @@
 # Developer and CI entry points. `make ci` is what .github/workflows/ci.yml
-# runs: build, vet, the full test suite, the race-detector suite, and a
-# parallel lbreport smoke run.
+# runs: build, vet, the full test suite, the race-detector suite, a
+# parallel lbreport smoke run, the mutation-detection tests, and the
+# coverage gate. `make fuzz-short` and the explore smoke run as separate
+# CI jobs.
 
 GO ?= go
+FUZZTIME ?= 10s
+# Coverage floor for `make cover` (percent of internal/... statements).
+# Baseline at the time the gate was added: 90.8%.
+COVER_MIN ?= 88
 
-.PHONY: build vet test race smoke bench report ci
+.PHONY: build vet test race smoke bench report mutation cover fuzz-short explore-smoke ci
 
 build:
 	$(GO) build ./...
@@ -29,4 +35,34 @@ bench:
 report:
 	$(GO) run ./cmd/lbreport -o EXPERIMENTS.report.md
 
-ci: build vet test race smoke
+# Prove the schedule explorer detects real bugs: the deliberately broken
+# construction behind the mutation tag must be caught, shrunk, and replayed.
+mutation:
+	$(GO) test -tags mutation ./internal/explore/ ./internal/universal/
+
+# Coverage gate: fail if internal/... statement coverage drops below
+# COVER_MIN percent.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	ok=$$(awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN {print (t >= m) ? 1 : 0}'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; \
+	fi
+
+# Native fuzzing, ~FUZZTIME per target (plain `go test` already runs the
+# committed corpus under testdata/fuzz as unit tests).
+fuzz-short:
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzLemma51AndDeterminism$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzIndistinguishability$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzUPMonotone$$' -fuzztime $(FUZZTIME)
+
+# Exhaustive schedule exploration of every construction at small n.
+explore-smoke:
+	$(GO) run ./cmd/explore -alg group-update -n 2
+	$(GO) run ./cmd/explore -alg herlihy -n 2
+	$(GO) run ./cmd/explore -alg central -n 2
+	$(GO) run ./cmd/explore -alg central -n 3
+
+ci: build vet test race smoke mutation cover

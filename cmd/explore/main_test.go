@@ -1,0 +1,64 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExhaustiveClean(t *testing.T) {
+	var b strings.Builder
+	found, err := run(&b, options{Alg: "central", Object: "fetch-increment", N: 2, K: 1, Mode: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatalf("unexpected failure:\n%s", b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"exhaustive central/fetch-increment n=2 k=1", "states", "no failures"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFuzzWritesReplayAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	// A tiny budget manufactures a real failure on a correct construction.
+	found, err := run(&b, options{Alg: "central", Object: "fetch-increment", N: 2, K: 1,
+		Mode: "fuzz", Samples: 1, Seed: 5, Budget: 2, Out: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatalf("budget 2 must fail:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "replay written to") {
+		t.Fatalf("no replay file reported:\n%s", b.String())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want 1 replay file, got %v (%v)", files, err)
+	}
+
+	var rb strings.Builder
+	found, err = run(&rb, options{Replay: files[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("replay mode must exit clean when the failure reproduces")
+	}
+	if !strings.Contains(rb.String(), "reproduced bit-for-bit") {
+		t.Fatalf("replay output:\n%s", rb.String())
+	}
+}
+
+func TestRunRejectsUnknownMode(t *testing.T) {
+	var b strings.Builder
+	if _, err := run(&b, options{Alg: "central", Object: "fetch-increment", N: 2, K: 1, Mode: "bogus"}); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+}

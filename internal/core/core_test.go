@@ -308,10 +308,7 @@ func TestIndistinguishabilityOnSetRegister(t *testing.T) {
 func TestIndistinguishabilityWithFullSet(t *testing.T) {
 	// S = all processes: the (S,A)-run IS the (All,A)-run.
 	run := mustRunAll(t, setRegisterWakeup, 6)
-	all := NewPidSet()
-	for pid := 0; pid < 6; pid++ {
-		all.Add(pid)
-	}
+	all := FullPidSet(6)
 	sub, err := RunSub(run, all)
 	if err != nil {
 		t.Fatal(err)

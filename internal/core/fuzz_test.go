@@ -4,11 +4,17 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"jayanti98/internal/machine"
 	"jayanti98/internal/shmem"
 )
+
+// The fuzz targets in this file are native Go fuzz tests over a single
+// int64 seed: the seed drives randomAlgorithm below, so every mutated
+// input is a new random program + toss assignment + system size. Under
+// plain `go test` only the f.Add seeds and the committed corpus
+// (testdata/fuzz/Fuzz*) run, as subtests; `make fuzz-short` runs each
+// target's mutation engine for ~10s.
 
 // randomAlgorithm builds a deterministic but arbitrary-looking program:
 // each process performs `steps` operations over a small register file,
@@ -69,136 +75,106 @@ func randomAlgorithm(seed int64, steps, nregs int) machine.Algorithm {
 	})
 }
 
-// TestFuzzLemma51AndDeterminism runs random programs under the adversary
-// and checks the 4^r UP bound plus run determinism.
-func TestFuzzLemma51AndDeterminism(t *testing.T) {
-	f := func(seed int64) bool {
+// addSeeds registers a spread of starting seeds; the committed corpus
+// under testdata/fuzz extends it.
+func addSeeds(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 3, 7, 13, 42, 1998, -5, 1 << 40} {
+		f.Add(seed)
+	}
+}
+
+// FuzzLemma51AndDeterminism runs random programs under the adversary and
+// checks the 4^r UP bound plus run determinism.
+func FuzzLemma51AndDeterminism(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, seed int64) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(8)
 		alg := randomAlgorithm(seed, 3+rng.Intn(8), 1+rng.Intn(5))
 		ta := func(pid, j int) int64 { return (int64(pid)*7 + int64(j)*13 + seed) % 5 }
 		run1, err := RunAll(alg, n, ta, Config{})
 		if err != nil {
-			t.Logf("seed %d: %v", seed, err)
-			return false
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 		if err := CheckLemma51(run1); err != nil {
-			t.Logf("seed %d: %v", seed, err)
-			return false
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 		run2, err := RunAll(alg, n, ta, Config{})
 		if err != nil {
-			return false
+			t.Fatalf("seed %d: rerun: %v", seed, err)
 		}
 		// Determinism: identical returns and step counts.
 		for pid := 0; pid < n; pid++ {
 			if !shmem.ValuesEqual(run1.Returns[pid], run2.Returns[pid]) {
-				t.Logf("seed %d: p%d returns differ: %v vs %v", seed, pid, run1.Returns[pid], run2.Returns[pid])
-				return false
+				t.Fatalf("seed %d: p%d returns differ: %v vs %v", seed, pid, run1.Returns[pid], run2.Returns[pid])
 			}
 			if run1.Steps[pid] != run2.Steps[pid] {
-				return false
+				t.Fatalf("seed %d: p%d step counts differ: %d vs %d", seed, pid, run1.Steps[pid], run2.Steps[pid])
 			}
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
-		t.Fatal(err)
-	}
+	})
 }
 
-// TestFuzzIndistinguishability is the big one: for random programs, random
-// toss assignments, and S = UP(p, final) for every process p, the
-// (S,A)-run must be indistinguishable from the (All,A)-run. This exercises
-// all twelve UP rules (the programs issue every op kind, including moves
-// scheduled by secretive schedules) and both run constructions.
-func TestFuzzIndistinguishability(t *testing.T) {
-	f := func(seed int64) bool {
+// FuzzIndistinguishability is the big one: for random programs, random
+// toss assignments, and S = UP(p, final) for every process p — plus one
+// union of two processes' knowledge — the (S,A)-run must be
+// indistinguishable from the (All,A)-run. This exercises all twelve UP
+// rules (the programs issue every op kind, including moves scheduled by
+// secretive schedules) and both run constructions.
+func FuzzIndistinguishability(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, seed int64) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(7)
 		alg := randomAlgorithm(seed, 3+rng.Intn(7), 1+rng.Intn(4))
 		ta := func(pid, j int) int64 { return (int64(pid) + int64(j)*3 + seed) % 4 }
 		run, err := RunAll(alg, n, ta, Config{})
 		if err != nil {
-			t.Logf("seed %d: %v", seed, err)
-			return false
+			t.Fatalf("seed %d: %v", seed, err)
 		}
-		for pid := 0; pid < n; pid++ {
-			s := run.FinalUPProc(pid).Clone()
+		check := func(label string, s PidSet) {
 			sub, err := RunSub(run, s)
 			if err != nil {
-				t.Logf("seed %d p%d: %v", seed, pid, err)
-				return false
+				t.Fatalf("seed %d %s (S=%v): %v", seed, label, s, err)
 			}
 			if err := CheckIndist(run, sub); err != nil {
-				t.Logf("seed %d p%d (S=%v): %v", seed, pid, s, err)
-				return false
+				t.Fatalf("seed %d %s (S=%v): %v", seed, label, s, err)
 			}
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// TestFuzzSubsetsOfUnions checks indistinguishability for S built as the
-// union of several processes' knowledge — larger, non-singleton-derived
-// subsets exercise S_r transitions differently.
-func TestFuzzSubsetsOfUnions(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 3 + rng.Intn(6)
-		alg := randomAlgorithm(seed, 4+rng.Intn(5), 1+rng.Intn(3))
-		run, err := RunAll(alg, n, machine.ZeroTosses, Config{})
-		if err != nil {
-			return false
+		for pid := 0; pid < n; pid++ {
+			check(fmt.Sprintf("p%d", pid), run.FinalUPProc(pid).Clone())
 		}
+		// A union of two processes' knowledge: larger, non-singleton-derived
+		// subsets exercise S_r transitions differently.
 		a, b := rng.Intn(n), rng.Intn(n)
-		s := Union(run.FinalUPProc(a), run.FinalUPProc(b))
-		sub, err := RunSub(run, s)
-		if err != nil {
-			t.Logf("seed %d: %v", seed, err)
-			return false
-		}
-		if err := CheckIndist(run, sub); err != nil {
-			t.Logf("seed %d (S=%v): %v", seed, s, err)
-			return false
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
-	}
+		check(fmt.Sprintf("union(p%d,p%d)", a, b), Union(run.FinalUPProc(a), run.FinalUPProc(b)))
+	})
 }
 
-// TestFuzzUPMonotone: UP sets never shrink round over round.
-func TestFuzzUPMonotone(t *testing.T) {
-	f := func(seed int64) bool {
+// FuzzUPMonotone checks that UP sets never shrink round over round and
+// always contain their own process.
+func FuzzUPMonotone(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, seed int64) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(6)
 		alg := randomAlgorithm(seed, 3+rng.Intn(6), 1+rng.Intn(4))
 		run, err := RunAll(alg, n, machine.ZeroTosses, Config{})
 		if err != nil {
-			return false
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 		for pid := 0; pid < n; pid++ {
 			prev := NewPidSet(pid)
 			for r := 1; r <= len(run.Rounds); r++ {
 				cur := run.UPProcAt(pid, r)
 				if !prev.SubsetOf(cur) {
-					t.Logf("seed %d: UP(p%d) shrank at round %d", seed, pid, r)
-					return false
+					t.Fatalf("seed %d: UP(p%d) shrank at round %d", seed, pid, r)
 				}
 				if !cur.Contains(pid) {
-					return false
+					t.Fatalf("seed %d: UP(p%d) lost p%d at round %d", seed, pid, pid, r)
 				}
 				prev = cur
 			}
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Fatal(err)
-	}
+	})
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"jayanti98/internal/shmem"
 )
 
 // PidSet is a set of process identifiers, represented as a bitset. The UP
@@ -28,13 +30,30 @@ func NewPidSet(pids ...int) PidSet {
 	return s
 }
 
+// FullPidSet returns the set {0, ..., n-1} — the All of the (All,A)-run —
+// built a word at a time via shmem.MaskUpTo.
+func FullPidSet(n int) PidSet {
+	if n <= 0 {
+		return PidSet{}
+	}
+	words := make([]uint64, shmem.WordOf(n-1)+1)
+	for i := range words {
+		k := n - i*64
+		if k > 64 {
+			k = 64
+		}
+		words[i] = shmem.MaskUpTo(k)
+	}
+	return PidSet{words: words, count: n}
+}
+
 // Add inserts pid (non-negative).
 func (s *PidSet) Add(pid int) {
-	w := pid >> 6
+	w := shmem.WordOf(pid)
 	for len(s.words) <= w {
 		s.words = append(s.words, 0)
 	}
-	bit := uint64(1) << uint(pid&63)
+	bit := shmem.BitOf(pid)
 	if s.words[w]&bit == 0 {
 		s.words[w] |= bit
 		s.count++
@@ -43,8 +62,11 @@ func (s *PidSet) Add(pid int) {
 
 // Contains reports membership.
 func (s PidSet) Contains(pid int) bool {
-	w := pid >> 6
-	return pid >= 0 && w < len(s.words) && s.words[w]&(uint64(1)<<uint(pid&63)) != 0
+	if pid < 0 {
+		return false
+	}
+	w := shmem.WordOf(pid)
+	return w < len(s.words) && s.words[w]&shmem.BitOf(pid) != 0
 }
 
 // Len returns the cardinality.

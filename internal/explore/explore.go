@@ -1,0 +1,551 @@
+// Package explore is a schedule-exploration harness for the universal
+// constructions (package universal): a bounded model checker over process
+// interleavings.
+//
+// A *schedule* is a sequence of process ids; step i of a run delivers the
+// pending shared-memory operation of process schedule[i] to the concurrent
+// memory (package llsc) and resumes that process, exactly the step
+// granularity of sched.Execute. The harness runs a fixed workload — every
+// process performs OpsPerProc operations on the construction under test —
+// and checks the resulting concurrent history for linearizability two ways:
+// incrementally after every event with a linz.Online checker (so violations
+// are flagged at the precise event that causes them), and post-hoc with
+// linz.Check on completed runs (cross-validating the two checkers against
+// each other).
+//
+// Three entry points:
+//
+//   - Exhaustive enumerates every schedule up to the step budget by
+//     depth-first search, re-executing each prefix from scratch (machine
+//     goroutines cannot be forked) and pruning prefixes that reach an
+//     already-visited state. The memoization key is the product of the
+//     machine history digests (operational local state, Lemma 5.2), the
+//     memory fingerprint, and the online checker's configuration-set key —
+//     the last component is what makes pruning sound for linearizability:
+//     two prefixes that agree on machines and memory can still admit
+//     different real-time orders, and the config set captures exactly that
+//     residue.
+//   - Fuzz samples random schedules (and coin tosses) for sizes where
+//     exhaustive search is infeasible, with per-sample seeds derived via
+//     sweep.Derive so every sample is reproducible in isolation.
+//   - RunSchedule replays one explicit schedule; Replay files (replay.go)
+//     persist a failing schedule plus its toss assignment so a failure
+//     reproduces bit-for-bit later.
+//
+// Failures are minimized by Shrink (shrink.go) before being persisted.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jayanti98/internal/linz"
+	"jayanti98/internal/llsc"
+	"jayanti98/internal/machine"
+	"jayanti98/internal/objtype"
+	"jayanti98/internal/shmem"
+	"jayanti98/internal/universal"
+)
+
+// BrokenGroupUpdate names the deliberately broken construction variant
+// (universal.NewBrokenGroupUpdate, behind the "mutation" build tag) that
+// the harness's own tests use to prove the search actually detects bugs.
+const BrokenGroupUpdate = "group-update-broken"
+
+// Config describes one system under exploration.
+type Config struct {
+	// Alg is the construction name: one of universal.Names(), or
+	// BrokenGroupUpdate when built with -tags mutation.
+	Alg string
+	// Object is the workload name (see Workloads).
+	Object string
+	// N is the number of processes.
+	N int
+	// OpsPerProc is how many operations each process performs.
+	OpsPerProc int
+	// Budget bounds total shared-memory steps; 0 picks a bound generous
+	// enough that exhausting it indicates a liveness bug (see AutoBudget).
+	Budget int
+	// Tosses supplies coin-toss outcomes (nil: machine.ZeroTosses).
+	// Exhaustive exploration requires a deterministic assignment.
+	Tosses machine.TossAssignment
+}
+
+// workload pairs a sequential type with a pure choice of the i-th
+// operation of process pid. Op functions must be deterministic: replay
+// depends on a (pid, i) pair always denoting the same operation.
+type workload struct {
+	typ func() objtype.Type
+	op  func(pid, i int) objtype.Op
+}
+
+var workloads = map[string]workload{
+	// Every process fetch&increments; duplicate or skipped tickets are the
+	// classic symptom of a broken linearization order.
+	"fetch-increment": {
+		typ: func() objtype.Type { return objtype.NewFetchIncrement(16) },
+		op:  func(int, int) objtype.Op { return objtype.Op{Name: objtype.OpFetchIncrement} },
+	},
+	// Even pids enqueue unique values, odd pids dequeue; exercises a
+	// container type where responses depend on the full order.
+	"queue": {
+		typ: func() objtype.Type { return objtype.NewEmptyQueue() },
+		op: func(pid, i int) objtype.Op {
+			if pid%2 == 0 {
+				return objtype.Op{Name: objtype.OpEnqueue, Arg: fmt.Sprintf("p%d#%d", pid, i)}
+			}
+			return objtype.Op{Name: objtype.OpDequeue}
+		},
+	},
+}
+
+// Workloads lists the available workload names, sorted.
+func Workloads() []string {
+	names := make([]string, 0, len(workloads))
+	for name := range workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func workloadFor(name string) (workload, error) {
+	w, ok := workloads[name]
+	if !ok {
+		return workload{}, fmt.Errorf("explore: unknown workload %q (want %s)", name, strings.Join(Workloads(), ", "))
+	}
+	return w, nil
+}
+
+// newConstruction resolves cfg.Alg, including the mutation-tagged broken
+// variant.
+func newConstruction(name string, typ objtype.Type, n int) (universal.Construction, error) {
+	if name == BrokenGroupUpdate {
+		return universal.NewBrokenGroupUpdate(typ, n, 0)
+	}
+	return universal.New(name, typ, n, 0)
+}
+
+// AutoBudget returns the step budget used when Config.Budget is 0: for a
+// wait-free construction, the worst-case cost of the whole workload plus
+// slack; for a lock-free one (StepBound 0), a bound derived from the fact
+// that with a finite workload every failed SC is charged to some other
+// process's success, so runs still terminate.
+func AutoBudget(c universal.Construction, n, opsPerProc int) int {
+	total := n * opsPerProc
+	if b := c.StepBound(); b > 0 {
+		return total*b + n + 4
+	}
+	return 2*total*(total+1) + total + n + 8
+}
+
+func (cfg Config) tosses() machine.TossAssignment {
+	if cfg.Tosses == nil {
+		return machine.ZeroTosses
+	}
+	return cfg.Tosses
+}
+
+func (cfg Config) validate() error {
+	if cfg.N < 1 {
+		return fmt.Errorf("explore: n must be >= 1, got %d", cfg.N)
+	}
+	if cfg.OpsPerProc < 1 {
+		return fmt.Errorf("explore: ops per process must be >= 1, got %d", cfg.OpsPerProc)
+	}
+	return nil
+}
+
+// FailureKind classifies what went wrong in a run.
+type FailureKind string
+
+// The failure kinds. FailInternal marks a harness self-check failure — the
+// online and post-hoc checkers disagreeing — and is always a bug in this
+// package, never in the construction.
+const (
+	FailCrash           FailureKind = "crash"
+	FailNonLinearizable FailureKind = "non-linearizable"
+	FailBudgetExhausted FailureKind = "budget-exhausted"
+	FailInternal        FailureKind = "internal"
+)
+
+// Failure describes one detected property violation.
+type Failure struct {
+	Kind FailureKind `json:"kind"`
+	// Detail is a human-readable diagnosis (e.g. the online checker's
+	// violation message).
+	Detail string `json:"detail"`
+	// Step is the number of shared-memory steps executed when the failure
+	// was detected.
+	Step int `json:"step"`
+}
+
+func (f *Failure) String() string {
+	return fmt.Sprintf("%s at step %d: %s", f.Kind, f.Step, f.Detail)
+}
+
+// eventKind distinguishes the two history events.
+type eventKind int
+
+const (
+	evInvoke eventKind = iota + 1
+	evReturn
+)
+
+// event is one history event recorded by a workload body. The global event
+// order is the real-time order of the run; an event's index is its
+// timestamp.
+type event struct {
+	proc int
+	kind eventKind
+	op   objtype.Op
+	resp objtype.Value
+}
+
+func (e event) String() string {
+	if e.kind == evInvoke {
+		return fmt.Sprintf("p%d invoke %v", e.proc, e.op)
+	}
+	return fmt.Sprintf("p%d return %v -> %v", e.proc, e.op, e.resp)
+}
+
+// eventLog is the shared history log. Appends happen on workload-body
+// goroutines and reads on the engine goroutine, but never concurrently:
+// a body appends only between two yields to the engine, and the engine
+// reads only after receiving the body's next action, so every append
+// happens-before every subsequent read (the machine's channels carry the
+// ordering). The one exception — machine startup, when all bodies run
+// concurrently until their first yield — is closed by the leading marker
+// toss in the body (see runner's body closure).
+type eventLog struct {
+	events []event
+}
+
+// pendingOp is a recorded invocation awaiting its return event.
+type pendingOp struct {
+	op     objtype.Op
+	invoke int64
+}
+
+// RunRecord is the observable outcome of one run.
+type RunRecord struct {
+	// Schedule is the executed schedule: the pid of every step actually
+	// delivered (scheduled pids that were not enabled are skipped and do
+	// not appear).
+	Schedule []int
+	// Events is the rendered event log, in real-time order.
+	Events []string
+	// Tosses holds the coin-toss outcomes each process consumed.
+	Tosses [][]int64
+	// Failure is the detected violation, nil for a clean run.
+	Failure *Failure
+	// Completed reports whether every process terminated.
+	Completed bool
+	// Steps is the number of shared-memory steps executed.
+	Steps int
+}
+
+// runner drives one run step by step. It is the single-goroutine engine
+// that Exhaustive, Fuzz, RunSchedule and Shrink all share.
+type runner struct {
+	cfg    Config
+	budget int
+	cons   universal.Construction
+	mem    *llsc.Memory
+	ms     []*machine.Machine
+	log    *eventLog
+	ta     machine.TossAssignment
+
+	online   *linz.Online
+	consumed int // prefix of log already fed to the checker
+	pending  map[int]pendingOp
+	hist     []linz.Op // completed ops, in return order
+
+	tossLog  [][]int64
+	executed []int
+	steps    int
+	fail     *Failure
+	closed   bool
+}
+
+// newRunner builds the system and advances every process to its first
+// shared-memory operation (or termination). The returned runner must be
+// closed.
+func newRunner(cfg Config) (*runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w, err := workloadFor(cfg.Object)
+	if err != nil {
+		return nil, err
+	}
+	typ := w.typ()
+	cons, err := newConstruction(cfg.Alg, typ, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = AutoBudget(cons, cfg.N, cfg.OpsPerProc)
+	}
+	r := &runner{
+		cfg:     cfg,
+		budget:  budget,
+		cons:    cons,
+		mem:     llsc.New(cfg.N),
+		log:     &eventLog{},
+		ta:      cfg.tosses(),
+		online:  linz.NewOnline(typ, cfg.N),
+		pending: make(map[int]pendingOp),
+		tossLog: make([][]int64, cfg.N),
+	}
+	// The body's one leading Toss is a start barrier: machines all run
+	// concurrently until their first yield, so nothing may touch the shared
+	// event log before it. Everything after is serialized by the engine.
+	alg := machine.New(cfg.Alg+"+"+cfg.Object, func(e *machine.Env) shmem.Value {
+		e.Toss()
+		pid := e.ID()
+		for i := 0; i < cfg.OpsPerProc; i++ {
+			op := w.op(pid, i)
+			r.log.events = append(r.log.events, event{proc: pid, kind: evInvoke, op: op})
+			resp := cons.Invoke(e, op)
+			r.log.events = append(r.log.events, event{proc: pid, kind: evReturn, op: op, resp: resp})
+		}
+		return nil
+	})
+	r.ms = machine.StartAll(alg, cfg.N)
+	for pid := 0; pid < cfg.N && r.fail == nil; pid++ {
+		r.advance(pid)
+	}
+	return r, nil
+}
+
+func (r *runner) close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	machine.CloseAll(r.ms)
+}
+
+// advance drains pid's coin tosses until its next shared-memory operation,
+// return, or crash, feeding freshly recorded history events to the online
+// checker along the way.
+func (r *runner) advance(pid int) {
+	m := r.ms[pid]
+	for {
+		a := m.Peek()
+		// Receiving the action synchronizes with everything the body did
+		// before yielding, including its event-log appends.
+		r.drainEvents()
+		if r.fail != nil {
+			return
+		}
+		switch a.Kind {
+		case machine.ActToss:
+			v := r.ta(pid, m.NumTosses())
+			r.tossLog[pid] = append(r.tossLog[pid], v)
+			m.DeliverToss(v)
+		case machine.ActCrash:
+			r.setFailure(FailCrash, fmt.Sprintf("process %d: %v", pid, m.Crashed()))
+			return
+		default: // ActOp or ActReturn
+			return
+		}
+	}
+}
+
+// drainEvents feeds new event-log entries to the online checker and the
+// accumulating history.
+func (r *runner) drainEvents() {
+	for ; r.consumed < len(r.log.events); r.consumed++ {
+		ev := r.log.events[r.consumed]
+		ts := int64(r.consumed + 1)
+		var err error
+		if ev.kind == evInvoke {
+			r.pending[ev.proc] = pendingOp{op: ev.op, invoke: ts}
+			err = r.online.Invoke(ev.proc, ev.op)
+		} else {
+			po := r.pending[ev.proc]
+			delete(r.pending, ev.proc)
+			r.hist = append(r.hist, linz.Op{Proc: ev.proc, Op: ev.op, Response: ev.resp, Invoke: po.invoke, Return: ts})
+			err = r.online.Return(ev.proc, ev.resp)
+		}
+		if err != nil {
+			r.setFailure(FailInternal, err.Error())
+			return
+		}
+		if !r.online.Ok() {
+			r.consumed++
+			r.setFailure(FailNonLinearizable, r.online.Violation())
+			return
+		}
+	}
+}
+
+func (r *runner) setFailure(kind FailureKind, detail string) {
+	if r.fail == nil {
+		r.fail = &Failure{Kind: kind, Detail: detail, Step: r.steps}
+	}
+}
+
+// enabled returns the pids with a pending shared-memory operation, sorted.
+func (r *runner) enabled() []int {
+	var out []int
+	for pid := range r.ms {
+		if r.isEnabled(pid) {
+			out = append(out, pid)
+		}
+	}
+	return out
+}
+
+func (r *runner) isEnabled(pid int) bool {
+	if r.fail != nil {
+		return false
+	}
+	m := r.ms[pid]
+	if m.Terminated() || m.Crashed() != nil {
+		return false
+	}
+	return m.Peek().Kind == machine.ActOp
+}
+
+// done reports whether every process terminated.
+func (r *runner) done() bool {
+	for _, m := range r.ms {
+		if !m.Terminated() {
+			return false
+		}
+	}
+	return true
+}
+
+// step delivers pid's pending operation to the memory and advances pid to
+// its next yield. It reports whether a step was executed; a disabled pid
+// (terminated, or the run already failed) is skipped.
+func (r *runner) step(pid int) bool {
+	if pid < 0 || pid >= r.cfg.N || !r.isEnabled(pid) {
+		return false
+	}
+	if r.steps >= r.budget {
+		// The attempted step is recorded in the schedule even though it was
+		// never delivered: replaying the schedule must re-attempt it so the
+		// failure reproduces at the same point.
+		r.executed = append(r.executed, pid)
+		r.setFailure(FailBudgetExhausted, fmt.Sprintf("budget %d exhausted with %d processes live", r.budget, len(r.enabled())))
+		return false
+	}
+	m := r.ms[pid]
+	a := m.Peek()
+	m.DeliverOpResponse(r.mem.Apply(pid, a.Op))
+	r.steps++
+	r.executed = append(r.executed, pid)
+	r.advance(pid)
+	return true
+}
+
+// memoKey renders the product state for exhaustive pruning: machine
+// history digests (operational local state, Lemma 5.2), the memory
+// fingerprint, and the online checker's config-set key (the real-time
+// linearization residue). Two prefixes with equal keys have identical
+// futures under identical schedule suffixes.
+func (r *runner) memoKey() string {
+	var b strings.Builder
+	for _, m := range r.ms {
+		b.WriteString(m.HistoryKey())
+		b.WriteByte('|')
+	}
+	b.WriteString(r.mem.Fingerprint())
+	b.WriteByte('|')
+	b.WriteString(r.online.Key())
+	return b.String()
+}
+
+// history assembles the linz history observed so far; incomplete
+// invocations become pending ops.
+func (r *runner) history() *linz.History {
+	h := linz.NewHistory(r.cfg.N)
+	for _, op := range r.hist {
+		h.Add(op.Proc, op.Op, op.Response, op.Invoke, op.Return)
+	}
+	for pid := 0; pid < r.cfg.N; pid++ {
+		if po, ok := r.pending[pid]; ok {
+			h.AddPending(pid, po.op, po.invoke)
+		}
+	}
+	return h
+}
+
+// finalCheck cross-validates the online checker with a post-hoc
+// linz.Check on the history so far. The online checker has already
+// accepted every prefix, so a post-hoc rejection means the two checkers
+// disagree — a harness bug, reported as FailInternal.
+func (r *runner) finalCheck() error {
+	if r.fail != nil {
+		return nil
+	}
+	res, err := linz.Check(r.cons.Type(), r.history())
+	if err != nil {
+		return fmt.Errorf("explore: final history check: %w", err)
+	}
+	if !res.Linearizable {
+		r.setFailure(FailInternal, "post-hoc linz.Check rejects a history the online checker accepted")
+	}
+	return nil
+}
+
+// record snapshots the run.
+func (r *runner) record() *RunRecord {
+	rec := &RunRecord{
+		Schedule:  append([]int(nil), r.executed...),
+		Tosses:    make([][]int64, r.cfg.N),
+		Failure:   r.fail,
+		Completed: r.done(),
+		Steps:     r.steps,
+	}
+	for pid := range r.tossLog {
+		rec.Tosses[pid] = append([]int64(nil), r.tossLog[pid]...)
+	}
+	for _, ev := range r.log.events[:r.consumed] {
+		rec.Events = append(rec.Events, ev.String())
+	}
+	return rec
+}
+
+// RunSchedule replays an explicit schedule: step i delivers the pending
+// operation of process schedule[i], skipping entries whose process is not
+// enabled (so shrunk schedules remain valid). The run stops at the end of
+// the schedule, on the first failure, or when all processes terminate; a
+// completed run is post-hoc checked with linz.Check.
+func RunSchedule(cfg Config, schedule []int) (*RunRecord, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	for _, pid := range schedule {
+		if r.fail != nil || r.done() {
+			break
+		}
+		r.step(pid)
+	}
+	if r.done() {
+		if err := r.finalCheck(); err != nil {
+			return nil, err
+		}
+	}
+	return r.record(), nil
+}
+
+// replayTosses turns a recorded per-process toss log back into a toss
+// assignment (unrecorded tosses default to 0).
+func replayTosses(tosses [][]int64) machine.TossAssignment {
+	return func(pid, j int) int64 {
+		if pid < len(tosses) && j < len(tosses[pid]) {
+			return tosses[pid][j]
+		}
+		return 0
+	}
+}

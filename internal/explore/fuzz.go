@@ -1,0 +1,157 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"jayanti98/internal/sweep"
+)
+
+// FuzzOptions configures a fuzzing campaign.
+type FuzzOptions struct {
+	// Samples is the number of random schedules to run.
+	Samples int
+	// Seed is the campaign's base seed; sample i derives its private seed
+	// with sweep.Derive(Seed, i), so each sample reproduces in isolation
+	// at every worker count.
+	Seed int64
+	// Workers bounds the worker goroutines (sweep.Workers semantics).
+	Workers int
+	// OutDir, when non-empty, receives one JSON replay file per failing
+	// sample (written after the campaign, in sample order).
+	OutDir string
+	// NoShrink skips counterexample minimization (useful when a failure's
+	// raw schedule is itself of interest).
+	NoShrink bool
+	// TossRange is the exclusive upper bound on random coin-toss outcomes
+	// (0 means 2: coin flips).
+	TossRange int64
+}
+
+// FuzzReport summarizes a fuzzing campaign.
+type FuzzReport struct {
+	Cfg     Config
+	Samples int
+	// TotalSteps sums executed steps over all samples (a cheap determinism
+	// fingerprint for the whole campaign).
+	TotalSteps int
+	// Failures holds one replay per failing sample, in sample order, with
+	// schedules already shrunk unless NoShrink was set.
+	Failures []*Replay
+	// Paths holds the file each failure was persisted to, aligned with
+	// Failures (empty when OutDir was "").
+	Paths []string
+}
+
+// Fuzz runs random schedules of cfg: at every step an enabled process is
+// picked uniformly, and coin tosses are drawn uniformly from
+// [0, TossRange). Every failing sample is minimized with Shrink and
+// converted into a self-contained Replay; with OutDir set, replays are
+// also persisted as JSON files (see ReadReplay / Verify).
+func Fuzz(cfg Config, opt FuzzOptions) (*FuzzReport, error) {
+	if opt.Samples < 1 {
+		return nil, fmt.Errorf("explore: fuzz needs at least 1 sample, got %d", opt.Samples)
+	}
+	tossRange := opt.TossRange
+	if tossRange <= 0 {
+		tossRange = 2
+	}
+	if opt.OutDir != "" {
+		if err := os.MkdirAll(opt.OutDir, 0o755); err != nil {
+			return nil, fmt.Errorf("explore: fuzz: %w", err)
+		}
+	}
+	type sampleResult struct {
+		steps  int
+		replay *Replay
+	}
+	results, err := sweep.Map(opt.Workers, opt.Samples, func(i int) (sampleResult, error) {
+		seed := sweep.Derive(opt.Seed, i)
+		rec, err := fuzzOne(cfg, seed, tossRange)
+		if err != nil {
+			return sampleResult{}, fmt.Errorf("explore: sample %d (seed %d): %w", i, seed, err)
+		}
+		res := sampleResult{steps: rec.Steps}
+		if rec.Failure == nil {
+			return res, nil
+		}
+		// Reproduce with the recorded tosses, minimizing the schedule
+		// unless asked not to. The budget stays as configured so a
+		// budget-exhaustion failure reproduces under the same bound.
+		rcfg := cfg
+		rcfg.Tosses = replayTosses(rec.Tosses)
+		schedule := rec.Schedule
+		if !opt.NoShrink {
+			schedule = Shrink(rcfg, rec.Schedule, rec.Failure.Kind)
+		}
+		final, err := RunSchedule(rcfg, schedule)
+		if err != nil {
+			return sampleResult{}, fmt.Errorf("explore: sample %d (seed %d): rerun: %w", i, seed, err)
+		}
+		if final.Failure == nil {
+			return sampleResult{}, fmt.Errorf("explore: sample %d (seed %d): failure %v did not reproduce from its own schedule", i, seed, rec.Failure)
+		}
+		res.replay = &Replay{
+			Alg:         cfg.Alg,
+			Object:      cfg.Object,
+			N:           cfg.N,
+			OpsPerProc:  cfg.OpsPerProc,
+			Budget:      cfg.Budget,
+			Seed:        seed,
+			Kind:        final.Failure.Kind,
+			Detail:      final.Failure.Detail,
+			Schedule:    final.Schedule,
+			Tosses:      final.Tosses,
+			Events:      final.Events,
+			OriginalLen: len(rec.Schedule),
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &FuzzReport{Cfg: cfg, Samples: opt.Samples}
+	for i, sr := range results {
+		rep.TotalSteps += sr.steps
+		if sr.replay == nil {
+			continue
+		}
+		rep.Failures = append(rep.Failures, sr.replay)
+		path := ""
+		if opt.OutDir != "" {
+			path = filepath.Join(opt.OutDir, fmt.Sprintf("fail-%s-%s-n%d-sample%d.json", cfg.Alg, cfg.Object, cfg.N, i))
+			if err := WriteReplay(path, sr.replay); err != nil {
+				return nil, err
+			}
+		}
+		rep.Paths = append(rep.Paths, path)
+	}
+	return rep, nil
+}
+
+// fuzzOne runs a single random schedule to completion, failure, or budget.
+func fuzzOne(cfg Config, seed int64, tossRange int64) (*RunRecord, error) {
+	rng := rand.New(rand.NewSource(seed))
+	tossRng := rand.New(rand.NewSource(sweep.Derive(seed, 1)))
+	cfg.Tosses = func(int, int) int64 { return tossRng.Int63n(tossRange) }
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	for r.fail == nil && !r.done() {
+		en := r.enabled()
+		if len(en) == 0 {
+			break
+		}
+		r.step(en[rng.Intn(len(en))])
+	}
+	if r.done() {
+		if err := r.finalCheck(); err != nil {
+			return nil, err
+		}
+	}
+	return r.record(), nil
+}

@@ -19,6 +19,7 @@ package linz
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -28,7 +29,8 @@ import (
 	"jayanti98/internal/shmem"
 )
 
-// Op is one completed operation in a concurrent history.
+// Op is one operation in a concurrent history — completed, or pending
+// (invoked but never responded).
 type Op struct {
 	// ID identifies the operation (unique within the history).
 	ID int
@@ -37,14 +39,19 @@ type Op struct {
 	Proc int
 	// Op is the operation applied to the object.
 	Op objtype.Op
-	// Response is the observed response.
+	// Response is the observed response; meaningless when Pending.
 	Response objtype.Value
 	// Invoke and Return are the global-clock timestamps of invocation and
-	// response; Invoke < Return.
+	// response; Invoke < Return. A pending operation has Return set to
+	// math.MaxInt64.
 	Invoke, Return int64
+	// Pending marks an operation that was invoked but never responded.
+	// A pending operation may be linearized (with any response — it may
+	// have taken effect before the crash/cut) or omitted entirely.
+	Pending bool
 }
 
-// History is a collection of completed operations.
+// History is a collection of operations, completed and pending.
 type History struct {
 	n   int
 	ops []Op
@@ -59,6 +66,18 @@ func NewHistory(n int) *History {
 func (h *History) Add(proc int, op objtype.Op, response objtype.Value, invoke, ret int64) int {
 	id := len(h.ops)
 	h.ops = append(h.ops, Op{ID: id, Proc: proc, Op: op, Response: response, Invoke: invoke, Return: ret})
+	return id
+}
+
+// AddPending appends a pending operation — invoked at the given timestamp,
+// never responded — and returns its ID. The checker treats it as optional:
+// a valid linearization may include it (with whatever response the
+// sequential specification produces at its linearization point) or drop it.
+// A pending operation must be its process's last, since the process never
+// finished it.
+func (h *History) AddPending(proc int, op objtype.Op, invoke int64) int {
+	id := len(h.ops)
+	h.ops = append(h.ops, Op{ID: id, Proc: proc, Op: op, Invoke: invoke, Return: math.MaxInt64, Pending: true})
 	return id
 }
 
@@ -99,7 +118,9 @@ type Result struct {
 // Check searches for a linearization of the history against typ (with the
 // initial state for the history's process count). It returns an error only
 // for structurally invalid histories; "not linearizable" is reported in
-// the Result.
+// the Result. An empty history is trivially linearizable. Pending
+// operations are optional: they may appear in the witness order (their
+// responses are unconstrained) or be left out.
 func Check(typ objtype.Type, h *History) (Result, error) {
 	if err := h.Validate(); err != nil {
 		return Result{}, err
@@ -112,8 +133,13 @@ func Check(typ objtype.Type, h *History) (Result, error) {
 	}
 	// Precompute real-time predecessors: op j must precede op i if
 	// j.Return < i.Invoke... strictly: j completed before i was invoked.
+	// A pending operation (Return = MaxInt64) precedes nothing.
 	c.preds = make([][]int, len(h.ops))
+	completed := 0
 	for i, oi := range h.ops {
+		if !oi.Pending {
+			completed++
+		}
 		for j, oj := range h.ops {
 			if i != j && oj.Return < oi.Invoke {
 				c.preds[i] = append(c.preds[i], j)
@@ -122,7 +148,7 @@ func Check(typ objtype.Type, h *History) (Result, error) {
 	}
 	order := make([]int, 0, len(h.ops))
 	done := make([]bool, len(h.ops))
-	ok := c.search(typ.Init(h.n), done, len(h.ops), &order)
+	ok := c.search(typ.Init(h.n), done, completed, &order)
 	res := Result{Linearizable: ok, Explored: c.explored}
 	if ok {
 		res.Order = append([]int(nil), order...)
@@ -140,8 +166,9 @@ type checker struct {
 }
 
 // search extends the linearization; done marks chosen ops, remaining counts
-// the rest, order accumulates the witness (in reverse discovery: appended
-// on success path going forward).
+// the unchosen completed ops (pending ops never count — they are optional),
+// order accumulates the witness (in reverse discovery: appended on success
+// path going forward).
 func (c *checker) search(state objtype.Value, done []bool, remaining int, order *[]int) bool {
 	if remaining == 0 {
 		return true
@@ -156,12 +183,16 @@ func (c *checker) search(state objtype.Value, done []bool, remaining int, order 
 			continue
 		}
 		next, resp := c.typ.Apply(state, op.Op)
-		if !shmem.ValuesEqual(resp, op.Response) {
+		if !op.Pending && !shmem.ValuesEqual(resp, op.Response) {
 			continue
+		}
+		left := remaining
+		if !op.Pending {
+			left--
 		}
 		done[i] = true
 		*order = append(*order, i)
-		if c.search(next, done, remaining-1, order) {
+		if c.search(next, done, left, order) {
 			return true
 		}
 		*order = (*order)[:len(*order)-1]

@@ -1,0 +1,204 @@
+// Online incremental linearizability checking, in the style of Lowe's
+// just-in-time linearization: instead of checking a completed history
+// post-hoc (Check), an Online checker consumes invoke/return events as
+// they happen and maintains the set of all "configurations" — pairs of
+// (sequential object state, set of pending operations already linearized
+// with their forced responses) — consistent with the events so far.
+//
+// The config set is a pure function of the event sequence, so it serves
+// two purposes for the schedule-exploration harness (package explore):
+//
+//  1. Early, exact detection: the history seen so far is linearizable
+//     iff the config set is non-empty, so a violation is flagged at the
+//     precise return event that makes the history inconsistent — no need
+//     to run the schedule to completion.
+//
+//  2. Sound state memoization: two schedule prefixes that agree on
+//     machine states and memory contents can still differ in which
+//     real-time orders their histories admit. The canonical Key of the
+//     config set captures exactly that residue, so folding it into a
+//     memoization key makes pruning complete for linearizability: equal
+//     keys (together with equal machine histories and memory) imply that
+//     every schedule suffix produces a violation from one prefix iff it
+//     does from the other.
+package linz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jayanti98/internal/objtype"
+	"jayanti98/internal/shmem"
+)
+
+// onlineConfigCap bounds the config set; exceeding it reports an error
+// rather than silently degrading. With p pending operations the set holds
+// at most (p+1)! configurations over distinct states, so small-n
+// exploration (the intended use) stays far below the cap.
+const onlineConfigCap = 1 << 16
+
+// Online is an incremental linearizability checker for one concurrent
+// object. Feed it Invoke/Return events in the real-time order they occur;
+// Ok reports whether the history so far is linearizable. Not safe for
+// concurrent use.
+type Online struct {
+	typ       objtype.Type
+	n         int
+	pending   map[int]objtype.Op // proc -> its one outstanding op
+	configs   map[string]onlineConfig
+	events    int
+	violation string
+}
+
+// onlineConfig is one consistent hypothesis: the sequential state after
+// the operations linearized so far, plus the pending operations among
+// them with the responses the specification forced at their
+// linearization points.
+type onlineConfig struct {
+	state objtype.Value
+	lin   map[int]objtype.Value
+}
+
+func renderConfig(c onlineConfig) string {
+	procs := make([]int, 0, len(c.lin))
+	for p := range c.lin {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v", c.state)
+	for _, p := range procs {
+		fmt.Fprintf(&b, "|p%d=%v", p, c.lin[p])
+	}
+	return b.String()
+}
+
+// NewOnline creates a checker for an n-process object of the given type.
+func NewOnline(typ objtype.Type, n int) *Online {
+	o := &Online{
+		typ:     typ,
+		n:       n,
+		pending: make(map[int]objtype.Op),
+		configs: make(map[string]onlineConfig),
+	}
+	init := onlineConfig{state: typ.Init(n), lin: map[int]objtype.Value{}}
+	o.configs[renderConfig(init)] = init
+	return o
+}
+
+// Invoke records that proc invoked op. It errors on protocol misuse (a
+// second outstanding op for the same process), never on inconsistency —
+// that is Ok's job.
+func (o *Online) Invoke(proc int, op objtype.Op) error {
+	if _, dup := o.pending[proc]; dup {
+		return fmt.Errorf("linz: online: process %d invoked %v with an operation already outstanding", proc, op)
+	}
+	o.events++
+	o.pending[proc] = op
+	return o.closure()
+}
+
+// Return records that proc's outstanding op responded with resp. If no
+// configuration survives, the history has just become non-linearizable;
+// Ok turns false and Violation pinpoints this event.
+func (o *Online) Return(proc int, resp objtype.Value) error {
+	op, ok := o.pending[proc]
+	if !ok {
+		return fmt.Errorf("linz: online: process %d returned %v with no outstanding operation", proc, resp)
+	}
+	o.events++
+	next := make(map[string]onlineConfig, len(o.configs))
+	for _, c := range o.configs {
+		if fixed, lin := c.lin[proc]; lin {
+			// Linearized earlier; the forced response must match.
+			if shmem.ValuesEqual(fixed, resp) {
+				c2 := onlineConfig{state: c.state, lin: withoutProc(c.lin, proc)}
+				next[renderConfig(c2)] = c2
+			}
+			continue
+		}
+		// Linearize at the return point. Configs where other pending ops
+		// linearize first are already present (the set is closed), so
+		// this covers every legal order.
+		st, r := o.typ.Apply(c.state, op)
+		if shmem.ValuesEqual(r, resp) {
+			c2 := onlineConfig{state: st, lin: c.lin}
+			next[renderConfig(c2)] = c2
+		}
+	}
+	delete(o.pending, proc)
+	o.configs = next
+	if len(o.configs) == 0 && o.violation == "" {
+		o.violation = fmt.Sprintf("event %d: response %v of p%d's %v admits no linearization", o.events, resp, proc, op)
+	}
+	return o.closure()
+}
+
+// closure extends configs with every configuration reachable by
+// linearizing pending-but-unlinearized operations, in any order.
+func (o *Online) closure() error {
+	queue := make([]onlineConfig, 0, len(o.configs))
+	for _, c := range o.configs {
+		queue = append(queue, c)
+	}
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for proc, op := range o.pending {
+			if _, done := c.lin[proc]; done {
+				continue
+			}
+			st, r := o.typ.Apply(c.state, op)
+			lin := make(map[int]objtype.Value, len(c.lin)+1)
+			for p, v := range c.lin {
+				lin[p] = v
+			}
+			lin[proc] = r
+			c2 := onlineConfig{state: st, lin: lin}
+			k := renderConfig(c2)
+			if _, seen := o.configs[k]; !seen {
+				if len(o.configs) >= onlineConfigCap {
+					return fmt.Errorf("linz: online: config set exceeded %d entries (history too concurrent for online checking)", onlineConfigCap)
+				}
+				o.configs[k] = c2
+				queue = append(queue, c2)
+			}
+		}
+	}
+	return nil
+}
+
+func withoutProc(lin map[int]objtype.Value, proc int) map[int]objtype.Value {
+	out := make(map[int]objtype.Value, len(lin))
+	for p, v := range lin {
+		if p != proc {
+			out[p] = v
+		}
+	}
+	return out
+}
+
+// Ok reports whether the event sequence consumed so far is linearizable
+// (pending operations may take effect or not — exactly Check's pending
+// semantics).
+func (o *Online) Ok() bool { return len(o.configs) > 0 }
+
+// Violation describes the first inconsistent event, or "" while Ok.
+func (o *Online) Violation() string { return o.violation }
+
+// Events returns the number of events consumed.
+func (o *Online) Events() int { return o.events }
+
+// Key returns a canonical rendering of the config set. Histories with
+// equal Keys (and equal pending-operation sets, which the caller's state
+// already determines) are interchangeable for every future event
+// sequence: the explorer folds Key into its memoization state.
+func (o *Online) Key() string {
+	keys := make([]string, 0, len(o.configs))
+	for k := range o.configs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "&")
+}

@@ -18,6 +18,8 @@ package llsc
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"jayanti98/internal/machine"
@@ -106,6 +108,59 @@ func (m *Memory) TotalSteps() int64 {
 		total += s
 	}
 	return total
+}
+
+// Apply performs op on behalf of pid and returns the response, with the
+// exact semantics of shmem.Memory.Apply (including the self-move no-op).
+// It makes *Memory implement sched.Memory, so the step-driven executors —
+// sched.Execute and the schedule-exploration engine of package explore —
+// can drive machines against the concurrent backend.
+func (m *Memory) Apply(pid int, op shmem.Op) shmem.Response {
+	h := Handle{mem: m, pid: pid}
+	switch op.Kind {
+	case shmem.OpLL:
+		return shmem.Response{OK: true, Val: h.LL(op.Reg)}
+	case shmem.OpSC:
+		ok, prev := h.SC(op.Reg, op.Arg)
+		return shmem.Response{OK: ok, Val: prev}
+	case shmem.OpValidate:
+		ok, v := h.Validate(op.Reg)
+		return shmem.Response{OK: ok, Val: v}
+	case shmem.OpSwap:
+		return shmem.Response{OK: true, Val: h.Swap(op.Reg, op.Arg)}
+	case shmem.OpMove:
+		h.Move(op.Src, op.Reg)
+		return shmem.Response{OK: true}
+	default:
+		panic(fmt.Sprintf("llsc: unknown op kind %v", op.Kind))
+	}
+}
+
+// Fingerprint renders the full memory state — every touched register's
+// value and Pset, in register order — as a deterministic string. Two
+// memories with equal fingerprints are in identical states (up to
+// registers that were touched and restored to their initial state, which
+// only ever makes the comparison stricter). The exploration harness folds
+// fingerprints into its memoization keys.
+func (m *Memory) Fingerprint() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx := make([]int, 0, len(m.regs))
+	for i := range m.regs {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	var b strings.Builder
+	for _, i := range idx {
+		r := m.regs[i]
+		ps := make([]int, 0, len(r.pset))
+		for p := range r.pset {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		fmt.Fprintf(&b, "R%d=%v pset=%v;", i, r.val, ps)
+	}
+	return b.String()
 }
 
 // ReadQuiesced returns the value of register i without charging a step.

@@ -87,6 +87,16 @@ func (s *Random) Next(_ int, live []int) int {
 	return live[s.rng.Intn(len(live))]
 }
 
+// Memory is the backend an execution applies shared-memory operations to.
+// *shmem.Memory (the single-threaded simulator) implements it natively;
+// *llsc.Memory (the concurrent memory) implements it too, so the same
+// executor — and the schedule-exploration harness of package explore —
+// can drive machines against either backend.
+type Memory interface {
+	// Apply performs op on behalf of pid and returns the response.
+	Apply(pid int, op shmem.Op) shmem.Response
+}
+
 // Result summarizes an execution.
 type Result struct {
 	// Returns maps each pid to its return value.
@@ -107,7 +117,7 @@ var ErrBudgetExhausted = errors.New("sched: step budget exhausted before all pro
 // tosses from ta, until every process terminates or budget shared-memory
 // steps have been executed. A crashing machine aborts the run with its
 // panic as the error.
-func Execute(alg machine.Algorithm, n int, mem *shmem.Memory, s Scheduler, ta machine.TossAssignment, budget int) (*Result, error) {
+func Execute(alg machine.Algorithm, n int, mem Memory, s Scheduler, ta machine.TossAssignment, budget int) (*Result, error) {
 	ms := machine.StartAll(alg, n)
 	defer machine.CloseAll(ms)
 

@@ -2,6 +2,30 @@ package shmem
 
 import "fmt"
 
+// Word/bit helpers for uint64-word bitsets (core.PidSet and friends).
+// They exist in one place so the word-boundary arithmetic — the classic
+// off-by-one hazards at bits 0, 63 and 64 — is written and tested once.
+
+// WordOf returns the index of the 64-bit word holding bit i (i ≥ 0).
+func WordOf(i int) int { return i >> 6 }
+
+// BitOf returns the single-bit mask of bit i within its word.
+func BitOf(i int) uint64 { return 1 << uint(i&63) }
+
+// MaskUpTo returns the mask with the low k bits set, for k in [0, 64]:
+// MaskUpTo(0) = 0, MaskUpTo(64) = all ones. The k = 64 case is why this
+// helper exists: the naive 1<<k − 1 shifts a uint64 by its full width,
+// which Go defines as 0 — the mask would silently lose a whole word.
+func MaskUpTo(k int) uint64 {
+	if k < 0 || k > 64 {
+		panic(fmt.Sprintf("shmem: MaskUpTo(%d) out of range [0, 64]", k))
+	}
+	if k == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(k)) - 1
+}
+
 // ApproxBits estimates the size of a register value in bits, as 8× the
 // length of its rendered form (nil counts as 0). The estimate is crude but
 // order-of-magnitude faithful, which is all the register-width experiment

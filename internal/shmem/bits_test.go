@@ -1,0 +1,121 @@
+package shmem
+
+import "testing"
+
+// The word/bit helpers guard the classic boundary hazards of uint64-word
+// bitsets: bit 0, bit 63 (last of a word), and bit/width 64 (first of the
+// next word — and, for MaskUpTo, the full-width shift Go defines as 0).
+
+func TestWordOfBoundaries(t *testing.T) {
+	cases := []struct {
+		bit, word int
+	}{
+		{0, 0}, {1, 0}, {63, 0},
+		{64, 1}, {65, 1}, {127, 1},
+		{128, 2}, {191, 2}, {192, 3},
+	}
+	for _, tc := range cases {
+		if got := WordOf(tc.bit); got != tc.word {
+			t.Errorf("WordOf(%d) = %d, want %d", tc.bit, got, tc.word)
+		}
+	}
+}
+
+func TestBitOfBoundaries(t *testing.T) {
+	cases := []struct {
+		bit  int
+		mask uint64
+	}{
+		{0, 1},
+		{1, 2},
+		{63, 1 << 63},
+		{64, 1},        // first bit of the next word wraps to position 0
+		{127, 1 << 63}, // last bit of the second word
+		{128, 1},
+	}
+	for _, tc := range cases {
+		if got := BitOf(tc.bit); got != tc.mask {
+			t.Errorf("BitOf(%d) = %#x, want %#x", tc.bit, got, tc.mask)
+		}
+	}
+}
+
+func TestMaskUpToBoundaries(t *testing.T) {
+	cases := []struct {
+		k    int
+		mask uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{63, 1<<63 - 1},  // all but the top bit
+		{64, ^uint64(0)}, // full word: the naive 1<<64 - 1 is 0 in Go
+	}
+	for _, tc := range cases {
+		if got := MaskUpTo(tc.k); got != tc.mask {
+			t.Errorf("MaskUpTo(%d) = %#x, want %#x", tc.k, got, tc.mask)
+		}
+	}
+	// Every mask must have exactly k bits set and be a prefix of the next.
+	prev := uint64(0)
+	for k := 0; k <= 64; k++ {
+		m := MaskUpTo(k)
+		if m&prev != prev {
+			t.Errorf("MaskUpTo(%d) = %#x is not an extension of MaskUpTo(%d) = %#x", k, m, k-1, prev)
+		}
+		if bits := popcount(m); bits != k {
+			t.Errorf("MaskUpTo(%d) has %d bits set", k, bits)
+		}
+		prev = m
+	}
+}
+
+func TestMaskUpToPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MaskUpTo(%d) did not panic", k)
+				}
+			}()
+			MaskUpTo(k)
+		}()
+	}
+}
+
+// TestHelpersComposeLikeABitset checks the three helpers against a
+// straightforward map-of-ints model across both sides of a word boundary.
+func TestHelpersComposeLikeABitset(t *testing.T) {
+	words := make([]uint64, 3)
+	set := []int{0, 1, 62, 63, 64, 65, 126, 127, 128}
+	for _, i := range set {
+		words[WordOf(i)] |= BitOf(i)
+	}
+	in := func(i int) bool { return words[WordOf(i)]&BitOf(i) != 0 }
+	for i := 0; i < 192; i++ {
+		want := false
+		for _, s := range set {
+			if s == i {
+				want = true
+			}
+		}
+		if in(i) != want {
+			t.Errorf("bit %d: got %v, want %v", i, in(i), want)
+		}
+	}
+	// MaskUpTo(64) must cover exactly word 0's population.
+	if got := popcount(words[0] & MaskUpTo(64)); got != 4 {
+		t.Errorf("word 0 has %d bits under a full mask, want 4", got)
+	}
+	if got := popcount(words[0] & MaskUpTo(63)); got != 3 {
+		t.Errorf("word 0 has %d bits under MaskUpTo(63), want 3 (bit 63 excluded)", got)
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}

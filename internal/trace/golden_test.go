@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jayanti98/internal/machine"
+	"jayanti98/internal/wakeup"
+)
+
+// Regenerate the golden files after an *intentional* schedule change with:
+//
+//	go test ./internal/trace/ -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files")
+
+// TestGoldenTraces pins the adversary's exact schedule for every wakeup
+// algorithm at small n: a committed canonical trace per algorithm. Any
+// accidental change to phase ordering, UP bookkeeping, or the step
+// renderer shows up as a diff naming the first divergent round.
+func TestGoldenTraces(t *testing.T) {
+	cases := []struct {
+		alg  machine.Algorithm
+		n    int
+		seed int64
+		file string
+	}{
+		{wakeup.SetRegister(), 3, 0, "set_register_n3.json"},
+		{wakeup.SetRegister(), 4, 3, "set_register_n4_seed3.json"},
+		{wakeup.DoubleRegister(), 4, 0, "double_register_n4.json"},
+		{wakeup.MoveCourier(), 4, 0, "move_courier_n4.json"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			golden := filepath.Join("testdata", tc.file)
+			got := capture(t, tc.alg, tc.n, tc.seed)
+			data, err := got.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data = append(data, '\n')
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			wantTrace, err := Parse(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Semantic diff first: it pinpoints the first divergent round.
+			if d := Diff(wantTrace, got); d != "" {
+				t.Fatalf("schedule changed vs golden (regenerate with -update if intentional): %s", d)
+			}
+			// Then bytes, so even renderer-invisible churn is caught.
+			if string(normalize(want)) != string(normalize(data)) {
+				t.Fatalf("%s: serialized trace differs from golden despite semantic equality", tc.file)
+			}
+		})
+	}
+}
+
+// normalize strips a single trailing newline so goldens written before
+// the trailing-newline convention still compare equal.
+func normalize(b []byte) []byte {
+	for len(b) > 0 && b[len(b)-1] == '\n' {
+		b = b[:len(b)-1]
+	}
+	return b
+}

@@ -124,3 +124,13 @@ func diffStrings(label string, a, b []string) string {
 	}
 	return ""
 }
+
+// DiffLines reports the first difference between two rendered event logs,
+// or "" if they are identical. It is the building block Diff uses per
+// round, exported for other record-by-record comparisons — in particular
+// the exploration harness's bit-for-bit replay verification (package
+// explore), which compares the step logs of an original failing run and
+// its replay.
+func DiffLines(label string, a, b []string) string {
+	return diffStrings(label, a, b)
+}

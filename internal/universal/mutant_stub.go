@@ -1,0 +1,19 @@
+//go:build !mutation
+
+package universal
+
+import (
+	"errors"
+
+	"jayanti98/internal/objtype"
+)
+
+// MutantAvailable reports whether the deliberately broken construction is
+// compiled in (true under -tags mutation).
+const MutantAvailable = false
+
+// NewBrokenGroupUpdate is only available under -tags mutation; the normal
+// build refuses it so the mutant can never leak into experiments.
+func NewBrokenGroupUpdate(objtype.Type, int, int) (Construction, error) {
+	return nil, errors.New("universal: broken group-update requires building with -tags mutation")
+}
