@@ -10,7 +10,7 @@ FUZZTIME ?= 10s
 # Baseline at the time the gate was added: 90.8%.
 COVER_MIN ?= 88
 
-.PHONY: build vet test race smoke bench report mutation cover fuzz-short explore-smoke ci
+.PHONY: build vet test race check smoke serve-smoke bench report mutation cover fuzz-short explore-smoke ci
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The short pre-commit loop: compile, vet, full test suite.
+check: build vet test
+
 # Smoke: the full report pipeline at quick sizes with a 4-worker sweep.
 smoke:
 	$(GO) run ./cmd/lbreport -quick -parallel 4 > /dev/null
+
+# Smoke the job service end to end: build lbserver, submit a quick job
+# twice, and assert the resubmission is a cache hit with the same job ID.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .

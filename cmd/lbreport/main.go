@@ -1,41 +1,36 @@
 // Command lbreport regenerates every experiment of the reproduction
 // (E1–E12, see DESIGN.md §3) and writes a markdown report. EXPERIMENTS.md
-// records a captured run of this command.
+// records a captured run of this command. The experiments themselves live
+// in internal/experiments, shared with the job service (cmd/lbserver).
 //
 // Usage:
 //
 //	lbreport [-o report.md] [-quick] [-parallel N] [-timing=false]
+//	         [-experiments E1,E2,...]
 //
 // -quick shrinks the sweeps for a fast smoke run. -parallel fans each
 // experiment's (algorithm, n, sample) grid out over N worker goroutines
-// (default: one per CPU; 1 reproduces the serial run). Apart from the
-// wall-clock lines (suppressible with -timing=false), the report is
-// byte-identical at every parallelism level: every grid point derives its
-// randomness from its own coordinates and tables are rendered only after
-// each sweep's barrier. With -o the report is written to a temp file in
-// the target directory and atomically renamed into place on success, so a
-// failed run never leaves a partial or truncated report behind.
+// (default: one per CPU; 1 reproduces the serial run). -experiments
+// selects a comma-separated subset (default: all, in report order). Apart
+// from the wall-clock lines (suppressible with -timing=false), the report
+// is byte-identical at every parallelism level: every grid point derives
+// its randomness from its own coordinates and tables are rendered only
+// after each sweep's barrier. With -o the report is written to a temp file
+// in the target directory and atomically renamed into place on success, so
+// a failed run never leaves a partial or truncated report behind.
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"io"
 	"log"
 	"os"
 	"path/filepath"
-	"time"
+	"strings"
 
-	"jayanti98/internal/core"
-	"jayanti98/internal/counting"
-	"jayanti98/internal/lowerbound"
-	"jayanti98/internal/machine"
-	"jayanti98/internal/objtype"
-	"jayanti98/internal/report"
-	"jayanti98/internal/stats"
+	"jayanti98/internal/experiments"
 	"jayanti98/internal/sweep"
-	"jayanti98/internal/universal"
-	"jayanti98/internal/wakeup"
 )
 
 // options carries the report knobs through run and the experiment funcs.
@@ -46,6 +41,8 @@ type options struct {
 	Parallel int
 	// Timing appends a wall-clock line after each experiment.
 	Timing bool
+	// Experiments selects a subset by name (nil: all).
+	Experiments []string
 }
 
 func main() {
@@ -55,8 +52,12 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (default one per CPU; 1 = serial)")
 	timing := flag.Bool("timing", true, "append a wall-clock line after each experiment")
+	names := flag.String("experiments", "", "comma-separated experiment subset: "+strings.Join(experiments.Names(), ","))
 	flag.Parse()
 	opts := options{Quick: *quick, Parallel: sweep.Workers(*parallel), Timing: *timing}
+	if *names != "" {
+		opts.Experiments = strings.Split(*names, ",")
+	}
 	if err := emit(*out, opts); err != nil {
 		log.Fatal(err)
 	}
@@ -95,334 +96,6 @@ func writeFileAtomic(path string, gen func(io.Writer) error) (err error) {
 }
 
 func run(w io.Writer, opts options) error {
-	wakeupNs := []int{2, 4, 8, 16, 32, 64, 128, 256}
-	reductionNs := []int{2, 4, 8, 16, 32, 64}
-	constructionNs := []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
-	samples := 100
-	if opts.Quick {
-		wakeupNs = []int{2, 4, 8, 16}
-		reductionNs = []int{2, 4, 8}
-		constructionNs = []int{2, 4, 8, 16, 32}
-		samples = 10
-	}
-
-	fmt.Fprintln(w, "# Experiment report — Jayanti (PODC 1998) lower bound reproduction")
-	fmt.Fprintln(w, "\nGenerated by `go run ./cmd/lbreport`. Bound column is ⌈log₄ n⌉ —")
-	fmt.Fprintln(w, "Theorem 6.1's minimum for the winner's shared-access steps.")
-
-	for _, e := range []struct {
-		name string
-		fn   func(io.Writer) error
-	}{
-		{"E1", func(w io.Writer) error { return e1(w, wakeupNs, opts) }},
-		{"E2", func(w io.Writer) error { return e2(w, wakeupNs, samples, opts) }},
-		{"E3", func(w io.Writer) error { return e3(w, reductionNs, opts) }},
-		{"E4/E5", func(w io.Writer) error { return e4e5(w, wakeupNs, opts) }},
-		{"E6", func(w io.Writer) error { return e6(w, opts) }},
-		{"E7/E8", func(w io.Writer) error { return e7e8(w, constructionNs, opts) }},
-		{"E9", func(w io.Writer) error { return e9(w, opts) }},
-		{"E10", func(w io.Writer) error { return e10(w, opts) }},
-		{"E11", func(w io.Writer) error { return e11(w, wakeupNs, opts) }},
-		{"E12", func(w io.Writer) error { return e12(w, opts) }},
-	} {
-		start := time.Now()
-		if err := e.fn(w); err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
-		}
-		if opts.Timing {
-			report.Timing(w, e.name, time.Since(start))
-		}
-	}
-	return nil
-}
-
-func e1(w io.Writer, ns []int, opts options) error {
-	report.Section(w, 2, "E1 — Theorem 6.1: adversary-forced wakeup cost (deterministic)")
-	fmt.Fprintln(w, "Every winner must spend ≥ ⌈log₄ n⌉ shared accesses; set-register pays Θ(n).")
-	fmt.Fprintln(w)
-	algs := []func(n int) machine.Algorithm{
-		func(int) machine.Algorithm { return wakeup.SetRegister() },
-		func(int) machine.Algorithm { return wakeup.MoveCourier() },
-	}
-	tbl := report.NewTable("algorithm", "n", "winner steps", "bound ⌈log₄ n⌉", "t(R) max steps", "rounds", "spec", "lemma 5.1", "thm 6.1")
-	for _, mk := range algs {
-		results, err := lowerbound.SweepWakeupParallel(mk, ns, machine.ZeroTosses, opts.Parallel)
-		if err != nil {
-			return err
-		}
-		for _, r := range results {
-			tbl.AddRow(r.Algorithm, r.N, r.WinnerSteps, r.Bound, r.MaxSteps, r.Rounds,
-				report.Check(r.SpecErr), report.Check(r.Lemma51Err), report.Check(r.Theorem61Err))
-		}
-	}
-	_, err := tbl.WriteTo(w)
-	return err
-}
-
-func e2(w io.Writer, ns []int, samples int, opts options) error {
-	report.Section(w, 2, "E2 — Theorem 6.1 randomized: expected complexity over %d toss assignments", samples)
-	fmt.Fprintln(w, "double-register terminates with probability c = 1, so E[winner steps] ≥ log₄ n.")
-	fmt.Fprintln(w)
-	tbl := report.NewTable("n", "E[winner steps]", "min", "max", "E[t(R)]", "bound", "failed runs")
-	for _, n := range ns {
-		res, err := lowerbound.ExpectedComplexityParallel(
-			func(int) machine.Algorithm { return wakeup.DoubleRegister() },
-			n, samples, sweep.Seed("E2", "double-register", n, 0), opts.Parallel)
-		if err != nil {
-			return err
-		}
-		tbl.AddRow(n, fmt.Sprintf("%.2f", res.Winner.Mean), res.Winner.Min, res.Winner.Max,
-			fmt.Sprintf("%.2f", res.Max.Mean), res.Bound, res.Failures)
-	}
-	_, err := tbl.WriteTo(w)
-	return err
-}
-
-func e3(w io.Writer, ns []int, opts options) error {
-	report.Section(w, 2, "E3 — Theorem 6.2: per-type lower bounds via wakeup reductions")
-	fmt.Fprintln(w, "Each reduction solves wakeup with ≤ k ops per process on one object")
-	fmt.Fprintln(w, "(implemented by the group-update construction), so any implementation of")
-	fmt.Fprintln(w, "the type costs ≥ ⌈log₄ n⌉/k shared accesses for some operation.")
-	fmt.Fprintln(w)
-	tbl := report.NewTable("type", "n", "k (ops/proc)", "winner steps", "per-op bound", "t(R)", "spec", "thm 6.1")
-	for _, spec := range wakeup.Reductions() {
-		results, err := lowerbound.SweepReductionParallel(spec, "group-update", ns, machine.ZeroTosses, opts.Parallel)
-		if err != nil {
-			return err
-		}
-		for _, r := range results {
-			tbl.AddRow(r.Type, r.N, r.OpsPerProcess, r.WinnerSteps, r.PerOpBound, r.MaxSteps,
-				report.Check(r.SpecErr), report.Check(r.Theorem61Err))
-		}
-	}
-	_, err := tbl.WriteTo(w)
-	return err
-}
-
-func e4e5(w io.Writer, ns []int, opts options) error {
-	report.Section(w, 2, "E4/E5 — Lemma 5.1 (UP growth ≤ 4^r) and Lemma 5.2 (indistinguishability)")
-	fmt.Fprintln(w, "For every process p of every run, the (UP(p,steps(p)),A)-run is verified")
-	fmt.Fprintln(w, "indistinguishable from the (All,A)-run; UP sets never exceed 4^r.")
-	fmt.Fprintln(w)
-	mks := []struct {
-		name string
-		mk   func(n int) machine.Algorithm
-	}{
-		{"set-register", func(int) machine.Algorithm { return wakeup.SetRegister() }},
-		{"move-courier", func(int) machine.Algorithm { return wakeup.MoveCourier() }},
-		{"double-register", func(int) machine.Algorithm { return wakeup.DoubleRegister() }},
-	}
-	type item struct {
-		mkIdx, n int
-	}
-	var items []item
-	for i := range mks {
-		for _, n := range ns {
-			if n > 64 {
-				continue // sub-run replay per process is quadratic; keep the report fast
-			}
-			items = append(items, item{i, n})
-		}
-	}
-	type row struct {
-		alg      string
-		n        int
-		checked  int
-		l51, l52 error
-	}
-	rows, err := sweep.Map(opts.Parallel, len(items), func(i int) (row, error) {
-		it := items[i]
-		alg := mks[it.mkIdx].mk(it.n)
-		run, err := core.RunAll(alg, it.n, lowerbound.HashTosses(7), core.Config{})
-		if err != nil {
-			return row{}, err
-		}
-		l51 := core.CheckLemma51(run)
-		checked, l52 := lowerbound.VerifyIndistinguishability(alg, it.n, lowerbound.HashTosses(7))
-		return row{alg.Name(), it.n, checked, l51, l52}, nil
-	})
-	if err != nil {
-		return err
-	}
-	tbl := report.NewTable("algorithm", "n", "subsets checked", "lemma 5.1", "lemma 5.2")
-	for _, r := range rows {
-		tbl.AddRow(r.alg, r.n, r.checked, report.Check(r.l51), report.Check(r.l52))
-	}
-	_, err = tbl.WriteTo(w)
-	return err
-}
-
-func e6(w io.Writer, opts options) error {
-	report.Section(w, 2, "E6 — proof mechanics: catching a too-fast wakeup algorithm")
-	fmt.Fprintln(w, "The cheater returns 1 after one shared access. The catch procedure builds")
-	fmt.Fprintln(w, "S = UP(winner, 1) and replays the (S,A)-run: the winner still returns 1")
-	fmt.Fprintln(w, "while the processes outside S never take a step — a spec violation,")
-	fmt.Fprintln(w, "machine-checked together with the indistinguishability of the two runs.")
-	fmt.Fprintln(w)
-	ns := []int{8, 16, 64, 256}
-	catches, err := sweep.Map(opts.Parallel, len(ns), func(i int) (*core.Catch, error) {
-		run, err := core.RunAll(wakeup.Cheater(), ns[i], machine.ZeroTosses, core.Config{})
-		if err != nil {
-			return nil, err
-		}
-		return core.CatchFastWakeup(run)
-	})
-	if err != nil {
-		return err
-	}
-	tbl := report.NewTable("n", "winner", "winner steps", "size of S", "processes never stepping", "caught")
-	for i, catch := range catches {
-		if catch == nil {
-			tbl.AddRow(ns[i], "-", "-", "-", "-", "NO (bug!)")
-			continue
-		}
-		tbl.AddRow(ns[i], fmt.Sprintf("p%d", catch.Winner), catch.WinnerSteps, catch.S.Len(),
-			len(catch.NeverStepped), "yes")
-	}
-	_, err = tbl.WriteTo(w)
-	return err
-}
-
-func e7e8(w io.Writer, ns []int, opts options) error {
-	report.Section(w, 2, "E7/E8 — tightness: group-update O(log n) vs herlihy Θ(n)")
-	fmt.Fprintln(w, "Adversary-forced worst-case shared accesses for one fetch&increment.")
-	fmt.Fprintln(w)
-	var guResults []lowerbound.ConstructionResult
-	for _, name := range []string{"group-update", "herlihy"} {
-		name := name
-		mk := func(n int) universal.Construction {
-			return universal.Must(universal.New(name, objtype.NewFetchIncrement(64), n, 0))
-		}
-		results, growth, err := lowerbound.SweepConstructionParallel(mk, lowerbound.FetchIncOp, ns, opts.Parallel)
-		if err != nil {
-			return err
-		}
-		if name == "group-update" {
-			guResults = results
-		}
-		fmt.Fprintf(w, "**%s** — measured growth: %s\n\n", name, growth)
-		tbl := report.NewTable("n", "forced steps (max/op)", "documented bound", "Ω bound ⌈log₄ n⌉")
-		for _, r := range results {
-			tbl.AddRow(r.N, r.MaxSteps, r.StepBound, r.LowerBound)
-		}
-		if _, err := tbl.WriteTo(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-	}
-	xs := make([]float64, len(guResults))
-	ys := make([]float64, len(guResults))
-	for i, r := range guResults {
-		xs[i] = stats.Log2(float64(r.N))
-		ys[i] = float64(r.MaxSteps)
-	}
-	fit := stats.LeastSquares(xs, ys)
-	fmt.Fprintf(w, "group-update steps vs log₂ n: %s — slope between 1 and 8 confirms O(log n).\n", fit)
-	return nil
-}
-
-func e9(w io.Writer, opts options) error {
-	report.Section(w, 2, "E9 — Section 4: secretive vs naive move scheduling")
-	fmt.Fprintln(w, "Longest movers chain = how many processes one register can reveal.")
-	fmt.Fprintln(w)
-	ns := []int{8, 64, 512, 4096}
-	rows, err := sweep.Map(opts.Parallel, len(ns), func(i int) ([]lowerbound.MoveScheduleResult, error) {
-		n := ns[i]
-		return lowerbound.MoveScheduleComparison(n, sweep.Seed("E9", "move-schedule", n, 0)), nil
-	})
-	if err != nil {
-		return err
-	}
-	tbl := report.NewTable("workload", "n", "naive max movers", "secretive max movers", "lemma 4.1", "lemma 4.2")
-	for _, results := range rows {
-		for _, r := range results {
-			tbl.AddRow(r.Workload, r.N, r.NaiveMaxMovers, r.SecretiveMax,
-				report.Bool(r.SecretiveLegal), report.Bool(r.Lemma42Verified))
-		}
-	}
-	_, err = tbl.WriteTo(w)
-	return err
-}
-
-func e10(w io.Writer, opts options) error {
-	report.Section(w, 2, "E10 — Section 7: unbounded RMW gives unit-time universal objects")
-	fmt.Fprintln(w, "With read-modify-write on unbounded registers every operation costs exactly")
-	fmt.Fprintln(w, "one shared access — the lower bound cannot extend to such a memory.")
-	fmt.Fprintln(w)
-	cases := []struct {
-		mkType func() objtype.Type
-		op     func(n, pid int) objtype.Op
-	}{
-		{func() objtype.Type { return objtype.NewFetchIncrement(64) }, lowerbound.FetchIncOp},
-		{func() objtype.Type { return objtype.NewWakeupQueue() },
-			func(n, pid int) objtype.Op { return objtype.Op{Name: objtype.OpDequeue} }},
-		{func() objtype.Type { return objtype.NewFetchMultiply(64) }, func(n, pid int) objtype.Op {
-			return objtype.Op{Name: objtype.OpFetchMultiply, Arg: objtype.HexUint(2)}
-		}},
-	}
-	rows, err := sweep.Map(opts.Parallel, len(cases), func(i int) (lowerbound.RMWResult, error) {
-		return lowerbound.RMWUnitTime(cases[i].mkType(), 64, cases[i].op)
-	})
-	if err != nil {
-		return err
-	}
-	tbl := report.NewTable("type", "n", "steps/op", "responses correct")
-	for _, res := range rows {
-		tbl.AddRow(res.Type, res.N, res.StepsPerOp, report.Bool(res.Correct))
-	}
-	_, err = tbl.WriteTo(w)
-	return err
-}
-
-func e11(w io.Writer, ns []int, opts options) error {
-	report.Section(w, 2, "E11 — exploiting semantics: wakeup via a bitonic counting network")
-	fmt.Fprintln(w, "The counting network solves wakeup with O(log² n) balancer steps and only")
-	fmt.Fprintln(w, "O(log n)-bit registers — between the Ω(log n) bound and the O(log² n)")
-	fmt.Fprintln(w, "closed-object construction of Chandra–Jayanti–Tan cited in Section 2,")
-	fmt.Fprintln(w, "and without the unbounded registers the oblivious O(log n) construction needs.")
-	fmt.Fprintln(w)
-	results, err := lowerbound.SweepWakeupParallel(wakeup.CountingNetwork, ns, machine.ZeroTosses, opts.Parallel)
-	if err != nil {
-		return err
-	}
-	tbl := report.NewTable("n", "winner steps", "bound ⌈log₄ n⌉", "depth·4+2 (lockstep cost)", "t(R)", "spec", "thm 6.1")
-	for _, r := range results {
-		tbl.AddRow(r.N, r.WinnerSteps, r.Bound, counting.Depth(r.N)*4+2, r.MaxSteps,
-			report.Check(r.SpecErr), report.Check(r.Theorem61Err))
-	}
-	_, err = tbl.WriteTo(w)
-	return err
-}
-
-func e12(w io.Writer, opts options) error {
-	report.Section(w, 2, "E12 — register width: what the O(log n) tightness costs (Section 7)")
-	fmt.Fprintln(w, "Widest register value written during one counter draw per process under")
-	fmt.Fprintln(w, "lockstep contention. The oblivious constructions carry whole operation logs")
-	fmt.Fprintln(w, "(Θ(n) records); the counting network never exceeds one machine word — the")
-	fmt.Fprintln(w, "concrete form of Section 7's observation that the lower bound's tightness")
-	fmt.Fprintln(w, "depends on unbounded registers.")
-	fmt.Fprintln(w)
-	ns := []int{8, 32, 128}
-	if opts.Quick {
-		ns = []int{8, 16}
-	}
-	rows, err := sweep.Map(opts.Parallel, len(ns), func(i int) ([]lowerbound.WidthResult, error) {
-		return lowerbound.RegisterWidthProfile(ns[i])
-	})
-	if err != nil {
-		return err
-	}
-	tbl := report.NewTable("implementation", "n", "steps/op (max)", "max register bits", "consistency", "Ω ⌈log₄ n⌉")
-	for _, results := range rows {
-		for _, r := range results {
-			consistency := "linearizable"
-			if !r.Linearizable {
-				consistency = "quiescent only"
-			}
-			tbl.AddRow(r.Implementation, r.N, r.MaxStepsPerOp, r.MaxRegisterBits,
-				consistency, r.LowerBound)
-		}
-	}
-	_, err = tbl.WriteTo(w)
-	return err
+	return experiments.WriteReport(context.Background(), w, opts.Experiments,
+		experiments.Options{Quick: opts.Quick, Parallel: opts.Parallel}, opts.Timing)
 }

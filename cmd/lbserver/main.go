@@ -1,0 +1,162 @@
+// Command lbserver serves the experiment job service over HTTP: submit a
+// job spec (lbreport experiments, universal-construction sweeps, schedule
+// exploration), poll or stream its progress, and fetch the result. Job
+// identity is the SHA-256 of the spec's canonical encoding, so repeated
+// submissions of one spec share one job and are served byte-identically
+// from the content-addressed result cache.
+//
+//	POST   /v1/jobs             submit a spec (idempotent on content hash)
+//	GET    /v1/jobs/{id}        status, progress, result
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events NDJSON progress stream
+//	GET    /v1/cache/stats      result-cache counters
+//	GET    /healthz             liveness
+//	GET    /debug/vars          expvar metrics (counters, cache, latency)
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, every
+// queued and running job is cancelled, and the worker pool drains within
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"jayanti98/internal/jobs"
+)
+
+type options struct {
+	addr         string
+	workers      int
+	queueDepth   int
+	jobTimeout   time.Duration
+	sweepWorkers int
+	cacheDir     string
+	cacheEntries int
+	drainTimeout time.Duration
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("lbserver", flag.ContinueOnError)
+	opts := options{}
+	fs.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&opts.workers, "workers", 2, "concurrent jobs")
+	fs.IntVar(&opts.queueDepth, "queue", 64, "queued-job capacity (submissions beyond it get 503)")
+	fs.DurationVar(&opts.jobTimeout, "job-timeout", 0, "per-job deadline (0: none)")
+	fs.IntVar(&opts.sweepWorkers, "parallel", runtime.NumCPU(), "sweep workers per job")
+	fs.StringVar(&opts.cacheDir, "cache-dir", "", "result-cache directory (empty: memory only)")
+	fs.IntVar(&opts.cacheEntries, "cache-entries", 128, "in-memory result-cache capacity")
+	fs.DurationVar(&opts.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown deadline")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return opts, nil
+}
+
+// activeScheduler backs the expvar readers. expvar names are process-global
+// and cannot be unpublished, so the vars indirect through this pointer
+// instead of closing over one scheduler (tests build several).
+var activeScheduler atomic.Pointer[jobs.Scheduler]
+
+// publishVars registers the service metrics with expvar once per process:
+// job counters (submitted, completed, failed, canceled, queue depth),
+// cache effectiveness, and per-phase latency summaries (median/p95 ms).
+func publishVars() {
+	if expvar.Get("jobs") != nil {
+		return
+	}
+	expvar.Publish("jobs", expvar.Func(func() any {
+		if s := activeScheduler.Load(); s != nil {
+			return s.Counters()
+		}
+		return nil
+	}))
+	expvar.Publish("jobs.cache", expvar.Func(func() any {
+		if s := activeScheduler.Load(); s != nil {
+			return s.Cache().Stats()
+		}
+		return nil
+	}))
+	expvar.Publish("jobs.phase_latency_ms", expvar.Func(func() any {
+		if s := activeScheduler.Load(); s != nil {
+			return s.PhaseLatencies()
+		}
+		return nil
+	}))
+}
+
+// newMux mounts the job API plus the expvar endpoint.
+func newMux(s *jobs.Scheduler) http.Handler {
+	activeScheduler.Store(s)
+	publishVars()
+	mux := http.NewServeMux()
+	mux.Handle("/", jobs.NewHandler(s))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func newScheduler(opts options) (*jobs.Scheduler, error) {
+	cache, err := jobs.NewCache(opts.cacheEntries, opts.cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return jobs.NewScheduler(jobs.Options{
+		Workers:       opts.workers,
+		QueueDepth:    opts.queueDepth,
+		JobTimeout:    opts.jobTimeout,
+		SweepParallel: opts.sweepWorkers,
+		Cache:         cache,
+	})
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbserver: ")
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	sched, err := newScheduler(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Addr: opts.addr, Handler: newMux(sched)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (workers %d, queue %d, cache dir %q)",
+		opts.addr, opts.workers, opts.queueDepth, opts.cacheDir)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down: draining jobs for up to %s", opts.drainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := sched.Shutdown(shCtx); err != nil {
+		log.Printf("scheduler shutdown: %v", err)
+	}
+	log.Printf("drained")
+}

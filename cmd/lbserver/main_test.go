@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"jayanti98/internal/jobs"
+)
+
+func TestParseFlags(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-addr", ":9999", "-workers", "4", "-queue", "8",
+		"-job-timeout", "5s", "-cache-dir", "/tmp/x", "-cache-entries", "7",
+		"-drain-timeout", "2s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != ":9999" || opts.workers != 4 || opts.queueDepth != 8 ||
+		opts.jobTimeout != 5*time.Second || opts.cacheDir != "/tmp/x" ||
+		opts.cacheEntries != 7 || opts.drainTimeout != 2*time.Second {
+		t.Fatalf("opts = %+v", opts)
+	}
+	if _, err := parseFlags([]string{"stray"}); err == nil {
+		t.Fatal("positional arguments accepted")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	opts, err := parseFlags([]string{"-workers", "2", "-cache-dir", t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := newScheduler(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := sched.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	srv := httptest.NewServer(newMux(sched))
+	defer srv.Close()
+
+	// Liveness and metrics come up before any job runs.
+	for _, path := range []string{"/healthz", "/debug/vars", "/v1/cache/stats"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+
+	spec := `{"kind":"explore","explore":{"alg":"central","mode":"exhaustive"}}`
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view jobs.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := sched.Wait(ctx, view.ID)
+	if err != nil || final.Status != jobs.StatusDone {
+		t.Fatalf("job: %v, %+v", err, final)
+	}
+
+	// The expvar endpoint reflects the completed job.
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Jobs  jobs.Counters   `json:"jobs"`
+		Cache jobs.CacheStats `json:"jobs.cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if vars.Jobs.Submitted != 1 || vars.Jobs.Completed != 1 {
+		t.Fatalf("expvar jobs = %+v", vars.Jobs)
+	}
+	if vars.Cache.Entries != 1 {
+		t.Fatalf("expvar cache = %+v", vars.Cache)
+	}
+}
+
+func TestNewMuxIdempotentExpvars(t *testing.T) {
+	// Two servers in one process must not collide on expvar names; the
+	// metrics follow the most recent scheduler.
+	for i := 0; i < 2; i++ {
+		sched, err := newScheduler(options{workers: 1, queueDepth: 4, cacheEntries: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(newMux(sched))
+		resp, err := http.Get(srv.URL + "/debug/vars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: /debug/vars %d", i, resp.StatusCode)
+		}
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := sched.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+	}
+}

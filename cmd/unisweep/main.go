@@ -20,7 +20,6 @@ import (
 	"log"
 
 	"jayanti98/internal/lowerbound"
-	"jayanti98/internal/objtype"
 	"jayanti98/internal/report"
 	"jayanti98/internal/sweep"
 	"jayanti98/internal/universal"
@@ -38,7 +37,7 @@ func main() {
 	for n := 2; n <= *maxN; n *= 2 {
 		ns = append(ns, n)
 	}
-	mkType, op, err := typeFor(*typeName)
+	st, err := lowerbound.SweepTypeFor(*typeName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,13 +45,13 @@ func main() {
 	for _, name := range universal.Names() {
 		name := name
 		mk := func(n int) universal.Construction {
-			return universal.Must(universal.New(name, mkType(n), n, 0))
+			return universal.Must(universal.New(name, st.New(n), n, 0))
 		}
-		results, growth, err := lowerbound.SweepConstructionParallel(mk, op, ns, sweep.Workers(*parallel))
+		results, growth, err := lowerbound.SweepConstructionParallel(mk, st.Op, ns, sweep.Workers(*parallel))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\n%s on %s — measured growth: %s\n\n", name, mkType(2).Name(), growth)
+		fmt.Printf("\n%s on %s — measured growth: %s\n\n", name, st.New(2).Name(), growth)
 		tbl := report.NewTable("n", "forced steps/op", "documented bound", "Ω ⌈log₄ n⌉")
 		for _, r := range results {
 			bound := "not wait-free"
@@ -62,21 +61,5 @@ func main() {
 			tbl.AddRow(r.N, r.MaxSteps, bound, r.LowerBound)
 		}
 		fmt.Print(tbl)
-	}
-}
-
-func typeFor(name string) (func(n int) objtype.Type, func(n, pid int) objtype.Op, error) {
-	switch name {
-	case "fetch&increment":
-		return func(n int) objtype.Type { return objtype.NewFetchIncrement(64) },
-			lowerbound.FetchIncOp, nil
-	case "queue":
-		return func(n int) objtype.Type { return objtype.NewWakeupQueue() },
-			func(n, pid int) objtype.Op { return objtype.Op{Name: objtype.OpDequeue} }, nil
-	case "stack":
-		return func(n int) objtype.Type { return objtype.NewWakeupStack() },
-			func(n, pid int) objtype.Op { return objtype.Op{Name: objtype.OpPop} }, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown type %q (want fetch&increment, queue, or stack)", name)
 	}
 }

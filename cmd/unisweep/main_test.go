@@ -13,7 +13,7 @@ import (
 // 1 and 4, and requires identical results — the engine's determinism
 // contract on this command's workload.
 func TestSweepEveryConstructionParallelMatchesSerial(t *testing.T) {
-	mkType, op, err := typeFor("fetch&increment")
+	st, err := lowerbound.SweepTypeFor("fetch&increment")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,13 +21,13 @@ func TestSweepEveryConstructionParallelMatchesSerial(t *testing.T) {
 	for _, name := range universal.Names() {
 		name := name
 		mk := func(n int) universal.Construction {
-			return universal.Must(universal.New(name, mkType(n), n, 0))
+			return universal.Must(universal.New(name, st.New(n), n, 0))
 		}
-		serial, sGrowth, err := lowerbound.SweepConstructionParallel(mk, op, ns, 1)
+		serial, sGrowth, err := lowerbound.SweepConstructionParallel(mk, st.Op, ns, 1)
 		if err != nil {
 			t.Fatalf("%s serial: %v", name, err)
 		}
-		par, pGrowth, err := lowerbound.SweepConstructionParallel(mk, op, ns, 4)
+		par, pGrowth, err := lowerbound.SweepConstructionParallel(mk, st.Op, ns, 4)
 		if err != nil {
 			t.Fatalf("%s parallel: %v", name, err)
 		}
@@ -40,28 +40,28 @@ func TestSweepEveryConstructionParallelMatchesSerial(t *testing.T) {
 
 func TestTypeForKnowsEveryType(t *testing.T) {
 	for _, name := range []string{"fetch&increment", "queue", "stack"} {
-		mk, op, err := typeFor(name)
+		st, err := lowerbound.SweepTypeFor(name)
 		if err != nil {
-			t.Errorf("typeFor(%q): %v", name, err)
+			t.Errorf("SweepTypeFor(%q): %v", name, err)
 			continue
 		}
-		typ := mk(4)
+		typ := st.New(4)
 		if typ == nil {
-			t.Errorf("typeFor(%q): nil type", name)
+			t.Errorf("SweepTypeFor(%q): nil type", name)
 			continue
 		}
-		o := op(4, 1)
+		o := st.Op(4, 1)
 		// The generated op must be applicable to the type's initial state.
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					t.Errorf("typeFor(%q): op %v not applicable: %v", name, o, r)
+					t.Errorf("SweepTypeFor(%q): op %v not applicable: %v", name, o, r)
 				}
 			}()
 			typ.Apply(typ.Init(4), o)
 		}()
 	}
-	if _, _, err := typeFor("bogus"); err == nil {
+	if _, err := lowerbound.SweepTypeFor("bogus"); err == nil {
 		t.Error("unknown type must error")
 	}
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
 
 func TestBuildAlgorithmKnowsEveryName(t *testing.T) {
 	names := []string{
@@ -20,5 +25,101 @@ func TestBuildAlgorithmKnowsEveryName(t *testing.T) {
 	}
 	if _, err := buildAlgorithm("no-such-algorithm", 8); err == nil {
 		t.Error("unknown algorithm must error")
+	}
+}
+
+func TestRunTextMode(t *testing.T) {
+	var buf bytes.Buffer
+	caught, err := run(&buf, options{alg: "set-register", n: 16, seed: 1, showRounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caught {
+		t.Fatal("set-register should not be caught")
+	}
+	out := buf.String()
+	for _, want := range []string{"algorithm  wakeup/set-register", "processes  16", "spec       ok", "per-round schedule:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONMode(t *testing.T) {
+	var buf bytes.Buffer
+	caught, err := run(&buf, options{alg: "set-register", n: 16, seed: 1, jsonOut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caught {
+		t.Fatal("set-register should not be caught")
+	}
+	// Exactly one JSON object on stdout.
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	var res runResult
+	if err := dec.Decode(&res); err != nil {
+		t.Fatalf("decoding: %v\n%s", err, buf.String())
+	}
+	if dec.More() {
+		t.Fatalf("more than one JSON value emitted:\n%s", buf.String())
+	}
+	if res.Algorithm != "wakeup/set-register" || res.N != 16 || res.Seed != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Rounds == 0 || res.MaxSteps == 0 {
+		t.Fatalf("missing run anatomy: %+v", res)
+	}
+	if res.Bound != 2 { // ⌈log₄ 16⌉
+		t.Fatalf("bound = %d, want 2", res.Bound)
+	}
+	if len(res.Winners) == 0 {
+		t.Fatal("no winners recorded")
+	}
+	if !res.Checks.Spec.OK || !res.Checks.Lemma51.OK || !res.Checks.Theorem61.OK {
+		t.Fatalf("checks = %+v", res.Checks)
+	}
+	if res.Catch != nil {
+		t.Fatalf("catch present without -catch: %+v", res.Catch)
+	}
+}
+
+func TestRunJSONModeCatchesCheater(t *testing.T) {
+	var buf bytes.Buffer
+	caught, err := run(&buf, options{alg: "cheater", n: 16, seed: 1, tryCatch: true, jsonOut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !caught {
+		t.Fatal("cheater with -catch should be caught")
+	}
+	var res runResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Catch == nil {
+		t.Fatal("catch missing from JSON output")
+	}
+	if res.Catch.Summary == "" || len(res.Catch.NeverStepped) == 0 || len(res.Catch.UpSet) == 0 {
+		t.Fatalf("catch = %+v", res.Catch)
+	}
+	if res.Checks.Theorem61.OK {
+		t.Fatal("cheater should fail the Theorem 6.1 check")
+	}
+	if res.Checks.Theorem61.Detail == "" {
+		t.Fatal("failing check carries no detail")
+	}
+}
+
+func TestRunTextModeCatchesCheater(t *testing.T) {
+	var buf bytes.Buffer
+	caught, err := run(&buf, options{alg: "cheater", n: 16, seed: 1, tryCatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !caught {
+		t.Fatal("cheater with -catch should be caught")
+	}
+	if !strings.Contains(buf.String(), "catch      winner") {
+		t.Fatalf("catch line missing:\n%s", buf.String())
 	}
 }

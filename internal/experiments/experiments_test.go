@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"jayanti98/internal/report"
+)
+
+func TestForSelection(t *testing.T) {
+	all, err := For(nil)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("For(nil) = %d experiments, %v", len(all), err)
+	}
+	// Subsets come back in report order regardless of request order.
+	sub, err := For([]string{"E6", "E1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "E1" || sub[1].Name != "E6" {
+		t.Fatalf("For(E6,E1) = %v", sub)
+	}
+	if _, err := For([]string{"E1", "E99"}); err == nil || !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("unknown name: err = %v", err)
+	}
+	if _, err := For([]string{"E1", "E1"}); err == nil {
+		t.Fatal("duplicate names must error")
+	}
+}
+
+// TestRunQuickCapturesTables: every experiment renders markdown and records
+// at least one table through the Doc.
+func TestRunQuickCapturesTables(t *testing.T) {
+	opts := Options{Quick: true, Parallel: 4}
+	for _, e := range []string{"E1", "E6", "E9", "E10"} {
+		sel, err := For([]string{e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d report.Doc
+		if err := sel[0].Run(context.Background(), &d, opts); err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if !strings.Contains(d.Markdown(), e+" —") {
+			t.Errorf("%s: markdown missing section heading", e)
+		}
+		if len(d.Tables()) == 0 {
+			t.Errorf("%s: no tables captured", e)
+		}
+		if strings.Contains(d.Markdown(), "FAIL") {
+			t.Errorf("%s: failing check in output", e)
+		}
+	}
+}
+
+// TestWriteReportSubsetAndCancellation: WriteReport renders only the
+// selected experiments, and a cancelled context aborts with ctx.Err().
+func TestWriteReportSubsetAndCancellation(t *testing.T) {
+	var b strings.Builder
+	if err := WriteReport(context.Background(), &b, []string{"E6"}, Options{Quick: true, Parallel: 2}, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E6 —") || strings.Contains(out, "E1 —") {
+		t.Fatalf("subset report wrong: %q", out)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := WriteReport(ctx, &strings.Builder{}, []string{"E1"}, Options{Quick: true, Parallel: 2}, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled report: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWriteReportAllQuick runs the entire E1–E12 registry at quick sizes —
+// the same pipeline cmd/lbreport -quick drives — and checks every section
+// renders without a failing lemma check.
+func TestWriteReportAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick report is too slow for -short")
+	}
+	var b strings.Builder
+	if err := WriteReport(context.Background(), &b, nil, Options{Quick: true, Parallel: 4}, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range Names() {
+		if !strings.Contains(out, name+" —") {
+			t.Errorf("report missing section %s", name)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Error("failing check in full quick report")
+	}
+	// The timing flag appends a wall-clock line per experiment.
+	if !strings.Contains(out, "_wall-clock:") && !strings.Contains(out, "wall-clock") {
+		t.Errorf("timing lines missing from report")
+	}
+}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"jayanti98/internal/sweep"
@@ -30,6 +31,7 @@ type Report struct {
 // exhaustiveWorker explores the subtree under one first step with its own
 // visited set.
 type exhaustiveWorker struct {
+	ctx      context.Context
 	cfg      Config
 	visited  map[string]bool
 	runs     int
@@ -47,6 +49,14 @@ type exhaustiveWorker struct {
 // Exhaustive requires a deterministic toss assignment (it explores
 // schedules, not coin flips): cfg.Tosses must be nil or pure.
 func Exhaustive(cfg Config, workers int) (*Report, error) {
+	return ExhaustiveCtx(context.Background(), cfg, workers)
+}
+
+// ExhaustiveCtx is Exhaustive under a context: cancellation aborts the
+// search — both across branches (no new branch is dispatched) and inside a
+// branch (the DFS checks ctx before every prefix re-execution) — and
+// returns ctx.Err(). A cancelled search yields no report.
+func ExhaustiveCtx(ctx context.Context, cfg Config, workers int) (*Report, error) {
 	root, err := newRunner(cfg)
 	if err != nil {
 		return nil, err
@@ -80,8 +90,8 @@ func Exhaustive(cfg Config, workers int) (*Report, error) {
 		failure                *Failure
 		record                 *RunRecord
 	}
-	results, err := sweep.Map(workers, len(branches), func(i int) (branchResult, error) {
-		w := &exhaustiveWorker{cfg: cfg, visited: make(map[string]bool)}
+	results, err := sweep.MapCtx(ctx, workers, len(branches), func(i int) (branchResult, error) {
+		w := &exhaustiveWorker{ctx: ctx, cfg: cfg, visited: make(map[string]bool)}
 		f, rec, err := w.dfs([]int{branches[i]})
 		if err != nil {
 			return branchResult{}, err
@@ -107,6 +117,9 @@ func Exhaustive(cfg Config, workers int) (*Report, error) {
 // It returns the first failure found in its subtree (with the failing
 // run's record), or nil if the subtree is clean.
 func (e *exhaustiveWorker) dfs(prefix []int) (*Failure, *RunRecord, error) {
+	if err := e.ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	r, err := newRunner(e.cfg)
 	if err != nil {
 		return nil, nil, err

@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -220,5 +222,34 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := RunSchedule(Config{Alg: "no-such-alg", Object: "queue", N: 2, OpsPerProc: 1}, nil); err == nil {
 		t.Fatal("unknown construction must be rejected")
+	}
+}
+
+// TestFuzzCtxCancellation: a cancelled campaign stops dispatching samples
+// and surfaces ctx.Err() instead of a report.
+func TestFuzzCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := FuzzCtx(ctx, Config{Alg: "group-update", Object: "fetch-increment", N: 2, OpsPerProc: 1},
+		FuzzOptions{Samples: 50, Seed: 1, Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatalf("cancelled campaign produced a report: %+v", rep)
+	}
+}
+
+// TestExhaustiveCtxCancellation: a cancelled exhaustive search aborts
+// mid-DFS with ctx.Err().
+func TestExhaustiveCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := ExhaustiveCtx(ctx, Config{Alg: "central", Object: "fetch-increment", N: 3, OpsPerProc: 1}, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatalf("cancelled search produced a report: %+v", rep)
 	}
 }

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -51,6 +52,14 @@ type FuzzReport struct {
 // converted into a self-contained Replay; with OutDir set, replays are
 // also persisted as JSON files (see ReadReplay / Verify).
 func Fuzz(cfg Config, opt FuzzOptions) (*FuzzReport, error) {
+	return FuzzCtx(context.Background(), cfg, opt)
+}
+
+// FuzzCtx is Fuzz under a context: once ctx is done no further samples are
+// dispatched and the campaign returns ctx.Err() (sweep.MapCtx semantics);
+// no report — and in particular no replay file — is produced for a
+// cancelled campaign.
+func FuzzCtx(ctx context.Context, cfg Config, opt FuzzOptions) (*FuzzReport, error) {
 	if opt.Samples < 1 {
 		return nil, fmt.Errorf("explore: fuzz needs at least 1 sample, got %d", opt.Samples)
 	}
@@ -67,7 +76,7 @@ func Fuzz(cfg Config, opt FuzzOptions) (*FuzzReport, error) {
 		steps  int
 		replay *Replay
 	}
-	results, err := sweep.Map(opt.Workers, opt.Samples, func(i int) (sampleResult, error) {
+	results, err := sweep.MapCtx(ctx, opt.Workers, opt.Samples, func(i int) (sampleResult, error) {
 		seed := sweep.Derive(opt.Seed, i)
 		rec, err := fuzzOne(cfg, seed, tossRange)
 		if err != nil {

@@ -1,0 +1,165 @@
+package jobs
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	// Entries is the number of results currently held in memory.
+	Entries int `json:"entries"`
+	// MaxEntries is the in-memory LRU capacity.
+	MaxEntries int `json:"maxEntries"`
+	// Hits counts Gets served from memory, DiskHits those revived from the
+	// cache directory after an LRU eviction or a restart.
+	Hits     int64 `json:"hits"`
+	DiskHits int64 `json:"diskHits"`
+	// Misses counts Gets that found nothing anywhere.
+	Misses int64 `json:"misses"`
+	// Evictions counts in-memory LRU evictions (the disk copy survives).
+	Evictions int64 `json:"evictions"`
+	// Dir is the persistence directory ("" = memory only).
+	Dir string `json:"dir,omitempty"`
+}
+
+// Cache is the content-addressed result store: job ID (the SHA-256 of the
+// canonical spec) → result bytes. In memory it is a bounded LRU; with a
+// cache dir every stored result is also persisted as <id>.json via an
+// atomic temp+rename write, so results survive both LRU eviction and
+// process restarts, and a repeated spec is always served byte-identically.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	dir   string
+
+	hits, diskHits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	id     string
+	result []byte
+}
+
+// NewCache builds a cache holding up to maxEntries results in memory
+// (≤ 0 means 128). A non-empty dir enables disk persistence; it is
+// created if missing.
+func NewCache(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = 128
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: cache dir: %w", err)
+		}
+	}
+	return &Cache{max: maxEntries, ll: list.New(), items: make(map[string]*list.Element), dir: dir}, nil
+}
+
+var cacheIDPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// Get returns the cached result for id, checking memory first and then
+// the cache directory (a disk hit is promoted back into memory).
+func (c *Cache) Get(id string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[id]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		result := el.Value.(*cacheEntry).result
+		c.mu.Unlock()
+		return result, true
+	}
+	c.mu.Unlock()
+
+	if c.dir == "" || !cacheIDPattern.MatchString(id) {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, id+".json"))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.misses++
+		return nil, false
+	}
+	c.diskHits++
+	c.insertLocked(id, data)
+	return data, true
+}
+
+// Put stores a result under id, evicting the least recently used entry
+// beyond capacity and persisting to disk when a cache dir is configured.
+func (c *Cache) Put(id string, result []byte) error {
+	if c.dir != "" {
+		if !cacheIDPattern.MatchString(id) {
+			return fmt.Errorf("jobs: cache id %q is not a sha256 hex digest", id)
+		}
+		if err := writeFileAtomic(filepath.Join(c.dir, id+".json"), result); err != nil {
+			return fmt.Errorf("jobs: cache persist: %w", err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(id, result)
+	return nil
+}
+
+func (c *Cache) insertLocked(id string, result []byte) {
+	if el, ok := c.items[id]; ok {
+		el.Value.(*cacheEntry).result = result
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[id] = c.ll.PushFront(&cacheEntry{id: id, result: result})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).id)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:    c.ll.Len(),
+		MaxEntries: c.max,
+		Hits:       c.hits,
+		DiskHits:   c.diskHits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Dir:        c.dir,
+	}
+}
+
+// writeFileAtomic writes data to a temp file in path's directory and
+// renames it into place, so readers never observe a partial result.
+func writeFileAtomic(path string, data []byte) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(data); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

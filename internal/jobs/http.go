@@ -1,0 +1,135 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewHandler builds the service's HTTP API over a scheduler:
+//
+//	POST   /v1/jobs             submit a Spec; idempotent on the content hash
+//	GET    /v1/jobs/{id}        status, progress, and (when done) the result
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events NDJSON progress stream until terminal
+//	GET    /v1/cache/stats      result-cache counters
+//	GET    /healthz             liveness
+//
+// Everything is JSON; errors are {"error": "..."} with a matching status
+// code. The result field of a done job is the cached bytes embedded
+// verbatim (json.RawMessage), so two fetches of one job ID are
+// byte-identical.
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+			return
+		}
+		view, created, err := s.Submit(&spec)
+		switch {
+		case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown):
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		// A brand-new job answers 201; a deduplicated or cache-served
+		// submission answers 200 — the idempotency signal.
+		code := http.StatusOK
+		if created {
+			code = http.StatusCreated
+		}
+		writeJSON(w, code, view)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !s.Cancel(id) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			return
+		}
+		view, _ := s.Get(id)
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		view, events, cancel, ok := s.Subscribe(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		defer cancel()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		emit := func(v any) bool {
+			if err := enc.Encode(v); err != nil {
+				return false
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return true
+		}
+		// Snapshot first, then the live feed, then the terminal state
+		// (which also covers events dropped under backpressure).
+		if !emit(view.Progress) {
+			return
+		}
+		for {
+			select {
+			case ev, open := <-events:
+				if !open {
+					final, _ := s.Get(view.ID)
+					emit(struct {
+						Status Status `json:"status"`
+						Event
+					}{final.Status, final.Progress})
+					return
+				}
+				if !emit(ev) {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+
+	mux.HandleFunc("GET /v1/cache/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Cache().Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

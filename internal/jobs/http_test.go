@@ -1,0 +1,298 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Scheduler, *httptest.Server) {
+	t.Helper()
+	s := newTestScheduler(t, opts)
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func doJSON(t *testing.T, method, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func pollDone(t *testing.T, base, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, body := doJSON(t, http.MethodGet, base+"/v1/jobs/"+id, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET job: %d %s", resp.StatusCode, body)
+		}
+		var view JobView
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatalf("decoding view: %v (%s)", err, body)
+		}
+		if view.Status.Terminal() {
+			return view
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobView{}
+}
+
+// TestHTTPIdempotentSubmitAndCachedResult is the acceptance-criteria test:
+// submitting the same job spec twice returns the same job ID and a
+// byte-identical cached result.
+func TestHTTPIdempotentSubmitAndCachedResult(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 2})
+	spec := `{"kind":"explore","explore":{"alg":"central","mode":"exhaustive"}}`
+
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first POST: %d %s", resp.StatusCode, body)
+	}
+	var first JobView
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if len(first.ID) != 64 {
+		t.Fatalf("job ID %q is not a sha256 digest", first.ID)
+	}
+	done := pollDone(t, srv.URL, first.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job ended %s (%s)", done.Status, done.Error)
+	}
+	if len(done.Result) == 0 {
+		t.Fatal("done view has no result")
+	}
+
+	// Same spec, spelled with defaults explicit and fields reordered.
+	equivalent := `{"explore":{"mode":"exhaustive","alg":"central","object":"fetch-increment","n":2,"opsPerProc":1},"kind":"explore"}`
+	resp, body = doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", equivalent)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d %s (want 200 — idempotent resubmission)", resp.StatusCode, body)
+	}
+	var second JobView
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("equivalent specs got different IDs: %s vs %s", second.ID, first.ID)
+	}
+	if !second.Cached {
+		t.Fatal("resubmission should be served as cached")
+	}
+	if !bytes.Equal(second.Result, done.Result) {
+		t.Fatalf("cached result differs:\n  first:  %s\n  second: %s", done.Result, second.Result)
+	}
+
+	// Cache stats are exposed.
+	resp, body = doJSON(t, http.MethodGet, srv.URL+"/v1/cache/stats", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache stats: %d", resp.StatusCode)
+	}
+	var st CacheStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("cache entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestHTTPEventsStream(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1})
+	spec := `{"kind":"explore","explore":{"alg":"central","mode":"exhaustive"}}`
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+
+	// Subscribe immediately; the stream must end with the terminal status
+	// line regardless of how many intermediate events we catch.
+	eresp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	if ct := eresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(eresp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream had %d lines, want snapshot + terminal at least: %v", len(lines), lines)
+	}
+	// Every line is valid JSON; Seq never decreases.
+	lastSeq := -1
+	for i, line := range lines {
+		var ev struct {
+			Seq    int    `json:"seq"`
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d %q: %v", i, line, err)
+		}
+		if ev.Seq < lastSeq {
+			t.Fatalf("seq regressed at line %d: %v", i, lines)
+		}
+		lastSeq = ev.Seq
+	}
+	var terminal struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &terminal); err != nil {
+		t.Fatal(err)
+	}
+	if terminal.Status != string(StatusDone) {
+		t.Fatalf("terminal line status = %q, want done: %v", terminal.Status, lines)
+	}
+}
+
+func TestHTTPCancelJob(t *testing.T) {
+	started := make(chan struct{})
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	s, srv := newTestServer(t, Options{Workers: 1})
+
+	spec := `{"kind":"explore","explore":{"mode":"exhaustive"}}`
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	resp, body = doJSON(t, http.MethodDelete, srv.URL+"/v1/jobs/"+view.ID, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %d %s", resp.StatusCode, body)
+	}
+	final := pollDone(t, srv.URL, view.ID)
+	if final.Status != StatusCanceled {
+		t.Fatalf("cancelled job = %s, want canceled", final.Status)
+	}
+	if len(final.Result) != 0 {
+		t.Fatal("cancelled job carries a result")
+	}
+	if _, ok := s.Cache().Get(view.ID); ok {
+		t.Fatal("cancelled job poisoned the cache")
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1})
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"bad json", http.MethodPost, "/v1/jobs", `{"kind":`, http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/jobs", `{"kind":"report","frobnicate":1}`, http.StatusBadRequest},
+		{"invalid spec", http.MethodPost, "/v1/jobs", `{"kind":"bogus"}`, http.StatusBadRequest},
+		{"unknown job", http.MethodGet, "/v1/jobs/deadbeef", "", http.StatusNotFound},
+		{"unknown job events", http.MethodGet, "/v1/jobs/deadbeef/events", "", http.StatusNotFound},
+		{"unknown job cancel", http.MethodDelete, "/v1/jobs/deadbeef", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := doJSON(t, tc.method, srv.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s: %d %s, want %d", tc.method, tc.path, resp.StatusCode, body, tc.want)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body %q is not {\"error\": ...}", body)
+			}
+		})
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1})
+	resp, body := doJSON(t, http.MethodGet, srv.URL+"/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz body = %s", body)
+	}
+}
+
+func TestHTTPQueueFullMaps503(t *testing.T) {
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var once bool
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		if !once {
+			once = true
+			close(running)
+		}
+		select {
+		case <-release:
+			return []byte(`{"ok":true}`), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	_, srv := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	defer close(release)
+
+	for i := 2; i <= 3; i++ {
+		spec := fmt.Sprintf(`{"kind":"explore","explore":{"n":%d,"mode":"exhaustive"}}`, i)
+		resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", spec)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST %d: %d %s", i, resp.StatusCode, body)
+		}
+		if i == 2 {
+			<-running
+		}
+	}
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", `{"kind":"explore","explore":{"n":4,"mode":"exhaustive"}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow POST: %d %s, want 503", resp.StatusCode, body)
+	}
+}

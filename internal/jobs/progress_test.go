@@ -1,0 +1,116 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProgressMonotonicSeqAndClampedDone(t *testing.T) {
+	p := NewProgress()
+	if got := p.Snapshot(); got.Phase != "queued" || got.Seq != 1 {
+		t.Fatalf("initial snapshot = %+v, want phase queued seq 1", got)
+	}
+	p.Set("work", 3, 10)
+	p.Set("work", 1, 10) // regression: clamped, not emitted as-is
+	if got := p.Snapshot(); got.Done != 3 {
+		t.Fatalf("done after regression = %d, want clamped 3", got.Done)
+	}
+	p.Set("work", 7, 10)
+	p.Set("verify", 0, 4) // phase change resets the counter
+	got := p.Snapshot()
+	if got.Phase != "verify" || got.Done != 0 || got.Total != 4 {
+		t.Fatalf("after phase change: %+v", got)
+	}
+	if got.Seq != 5 {
+		t.Fatalf("seq = %d, want 5 (strictly increasing per Set)", got.Seq)
+	}
+}
+
+func TestProgressSubscribeAndClose(t *testing.T) {
+	p := NewProgress()
+	ch, cancel := p.Subscribe()
+	defer cancel()
+	p.Set("work", 1, 2)
+	p.Set("work", 2, 2)
+	ev := <-ch
+	if ev.Phase != "work" || ev.Done != 1 {
+		t.Fatalf("first event = %+v", ev)
+	}
+	ev = <-ch
+	if ev.Done != 2 {
+		t.Fatalf("second event = %+v", ev)
+	}
+	p.Close()
+	if _, open := <-ch; open {
+		t.Fatal("channel not closed on Close")
+	}
+	// Set after Close is a no-op; Close is idempotent.
+	p.Set("late", 1, 1)
+	p.Close()
+	if got := p.Snapshot(); got.Phase != "work" {
+		t.Fatalf("Set after Close mutated state: %+v", got)
+	}
+}
+
+func TestProgressSubscribeAfterClose(t *testing.T) {
+	p := NewProgress()
+	p.Close()
+	ch, cancel := p.Subscribe()
+	defer cancel()
+	if _, open := <-ch; open {
+		t.Fatal("subscription to a closed progress should be born closed")
+	}
+}
+
+func TestProgressSubscriberBackpressureDrops(t *testing.T) {
+	p := NewProgress()
+	_, cancel := p.Subscribe()
+	defer cancel()
+	// Overflow the 64-slot buffer without draining; Set must never block.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 200; i++ {
+			p.Set("work", i, 200)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Set blocked on a slow subscriber")
+	}
+	// The final state is still available via Snapshot.
+	if got := p.Snapshot(); got.Done != 199 {
+		t.Fatalf("snapshot done = %d, want 199", got.Done)
+	}
+}
+
+func TestProgressDurations(t *testing.T) {
+	p := NewProgress()
+	// Drive the clock by hand through the test seam.
+	now := time.Unix(0, 0)
+	p.now = func() time.Time { return now }
+	p.phaseStart = now
+
+	now = now.Add(5 * time.Millisecond)
+	p.Set("build", 0, 1) // closes "queued" after 5ms
+	now = now.Add(20 * time.Millisecond)
+	p.Set("verify", 0, 1) // closes "build" after 20ms
+	now = now.Add(7 * time.Millisecond)
+	p.Close() // closes "verify" after 7ms
+
+	got := p.Durations()
+	want := []PhaseDuration{
+		{"queued", 5 * time.Millisecond},
+		{"build", 20 * time.Millisecond},
+		{"verify", 7 * time.Millisecond},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("durations = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("duration[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

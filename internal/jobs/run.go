@@ -1,0 +1,214 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"jayanti98/internal/experiments"
+	"jayanti98/internal/explore"
+	"jayanti98/internal/lowerbound"
+	"jayanti98/internal/report"
+	"jayanti98/internal/universal"
+)
+
+// ExperimentResult is one report section: the markdown cmd/lbreport
+// renders plus its tables in structured form (report.Table JSON).
+type ExperimentResult struct {
+	Name     string          `json:"name"`
+	Markdown string          `json:"markdown"`
+	Tables   []*report.Table `json:"tables"`
+}
+
+// ReportResult is the payload of a KindReport job.
+type ReportResult struct {
+	Quick       bool               `json:"quick"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// ConstructionSweep is one construction's slice of a KindSweep job.
+type ConstructionSweep struct {
+	Construction string                          `json:"construction"`
+	Growth       string                          `json:"growth"`
+	Results      []lowerbound.ConstructionResult `json:"results"`
+	// Table is the same rendering cmd/unisweep prints.
+	Table *report.Table `json:"table"`
+}
+
+// SweepResult is the payload of a KindSweep job.
+type SweepResult struct {
+	Type          string              `json:"type"`
+	Ns            []int               `json:"ns"`
+	Constructions []ConstructionSweep `json:"constructions"`
+}
+
+// ExploreFailure is a schedule-search counterexample in wire form.
+type ExploreFailure struct {
+	Kind        string `json:"kind"`
+	Detail      string `json:"detail"`
+	Schedule    []int  `json:"schedule"`
+	OriginalLen int    `json:"originalLen,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+}
+
+// ExploreResult is the payload of a KindExplore job.
+type ExploreResult struct {
+	Mode   string `json:"mode"`
+	Budget int    `json:"budget"`
+	// Exhaustive counters (zero for fuzz).
+	States   int `json:"states,omitempty"`
+	Runs     int `json:"runs,omitempty"`
+	Complete int `json:"complete,omitempty"`
+	// Fuzz counters (zero for exhaustive).
+	Samples    int `json:"samples,omitempty"`
+	TotalSteps int `json:"totalSteps,omitempty"`
+
+	Failures []ExploreFailure `json:"failures"`
+}
+
+// runSpec executes a normalized, validated spec and returns its result as
+// canonical JSON bytes. The bytes are a pure function of the spec — the
+// caching contract — so nothing time-, host-, or parallelism-dependent
+// may enter the payload. parallel is the sweep worker count to run
+// beneath this job (≤ 0: one per CPU).
+func runSpec(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+	var payload any
+	var err error
+	switch spec.Kind {
+	case KindReport:
+		payload, err = runReport(ctx, spec.Report, p, parallel)
+	case KindSweep:
+		payload, err = runSweep(ctx, spec.Sweep, p, parallel)
+	case KindExplore:
+		payload, err = runExplore(ctx, spec.Explore, p, parallel)
+	default:
+		err = fmt.Errorf("jobs: unknown kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(payload)
+}
+
+func runReport(ctx context.Context, spec *ReportSpec, p *Progress, parallel int) (*ReportResult, error) {
+	selected, err := experiments.For(spec.Experiments)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReportResult{Quick: spec.Quick, Experiments: make([]ExperimentResult, 0, len(selected))}
+	opts := experiments.Options{Quick: spec.Quick, Parallel: parallel}
+	for i, e := range selected {
+		p.Set(e.Name, i, len(selected))
+		var d report.Doc
+		if err := e.Run(ctx, &d, opts); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		res.Experiments = append(res.Experiments, ExperimentResult{
+			Name:     e.Name,
+			Markdown: d.Markdown(),
+			Tables:   d.Tables(),
+		})
+		p.Set(e.Name, i+1, len(selected))
+	}
+	return res, nil
+}
+
+func runSweep(ctx context.Context, spec *SweepSpec, p *Progress, parallel int) (*SweepResult, error) {
+	st, err := lowerbound.SweepTypeFor(spec.Type)
+	if err != nil {
+		return nil, err
+	}
+	var ns []int
+	for n := 2; n <= spec.MaxN; n *= 2 {
+		ns = append(ns, n)
+	}
+	constructions := spec.Constructions
+	if len(constructions) == 0 {
+		constructions = universal.Names()
+	}
+	res := &SweepResult{Type: spec.Type, Ns: ns}
+	for i, name := range constructions {
+		name := name
+		p.Set(name, i, len(constructions))
+		mk := func(n int) universal.Construction {
+			return universal.Must(universal.New(name, st.New(n), n, 0))
+		}
+		results, growth, err := lowerbound.SweepConstructionCtx(ctx, mk, st.Op, ns, parallel)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		tbl := report.NewTable("n", "forced steps/op", "documented bound", "Ω ⌈log₄ n⌉")
+		for _, r := range results {
+			bound := "not wait-free"
+			if r.StepBound > 0 {
+				bound = fmt.Sprintf("%d", r.StepBound)
+			}
+			tbl.AddRow(r.N, r.MaxSteps, bound, r.LowerBound)
+		}
+		res.Constructions = append(res.Constructions, ConstructionSweep{
+			Construction: name,
+			Growth:       string(growth),
+			Results:      results,
+			Table:        tbl,
+		})
+		p.Set(name, i+1, len(constructions))
+	}
+	return res, nil
+}
+
+func runExplore(ctx context.Context, spec *ExploreSpec, p *Progress, parallel int) (*ExploreResult, error) {
+	cfg := explore.Config{
+		Alg:        spec.Alg,
+		Object:     spec.Object,
+		N:          spec.N,
+		OpsPerProc: spec.OpsPerProc,
+		Budget:     spec.Budget,
+	}
+	res := &ExploreResult{Mode: spec.Mode, Failures: []ExploreFailure{}}
+	switch spec.Mode {
+	case "exhaustive":
+		p.Set("exhaustive", 0, 1)
+		rep, err := explore.ExhaustiveCtx(ctx, cfg, parallel)
+		if err != nil {
+			return nil, err
+		}
+		res.Budget = rep.Cfg.Budget
+		res.States = rep.States
+		res.Runs = rep.Runs
+		res.Complete = rep.Complete
+		if rep.Failure != nil {
+			res.Failures = append(res.Failures, ExploreFailure{
+				Kind:     string(rep.Failure.Kind),
+				Detail:   rep.Failure.Detail,
+				Schedule: rep.Record.Schedule,
+			})
+		}
+		p.Set("exhaustive", 1, 1)
+	case "fuzz":
+		p.Set("fuzz", 0, 1)
+		rep, err := explore.FuzzCtx(ctx, cfg, explore.FuzzOptions{
+			Samples: spec.Samples,
+			Seed:    spec.Seed,
+			Workers: parallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Budget = cfg.Budget
+		res.Samples = rep.Samples
+		res.TotalSteps = rep.TotalSteps
+		for _, f := range rep.Failures {
+			res.Failures = append(res.Failures, ExploreFailure{
+				Kind:        string(f.Kind),
+				Detail:      f.Detail,
+				Schedule:    f.Schedule,
+				OriginalLen: f.OriginalLen,
+				Seed:        f.Seed,
+			})
+		}
+		p.Set("fuzz", 1, 1)
+	default:
+		return nil, fmt.Errorf("jobs: explore mode %q", spec.Mode)
+	}
+	return res, nil
+}

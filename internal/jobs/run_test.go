@@ -1,0 +1,127 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runNormalized normalizes, validates, and executes a spec directly.
+func runNormalized(t *testing.T, spec *Spec, parallel int) []byte {
+	t.Helper()
+	if _, err := spec.ID(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runSpec(context.Background(), spec, NewProgress(), parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRunSpecSweepParallelismIndependent(t *testing.T) {
+	mk := func() *Spec {
+		return &Spec{Kind: KindSweep, Sweep: &SweepSpec{
+			Type: "queue", Constructions: []string{"central"}, MaxN: 8,
+		}}
+	}
+	// The caching contract: the payload is a pure function of the spec, so
+	// serial and parallel execution must serialize byte-identically.
+	serial := runNormalized(t, mk(), 1)
+	parallel := runNormalized(t, mk(), 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("sweep payload depends on parallelism:\n  serial:   %s\n  parallel: %s", serial, parallel)
+	}
+
+	var res SweepResult
+	if err := json.Unmarshal(serial, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Type != "queue" {
+		t.Fatalf("type = %q", res.Type)
+	}
+	if want := []int{2, 4, 8}; len(res.Ns) != len(want) {
+		t.Fatalf("ns = %v, want %v", res.Ns, want)
+	}
+	if len(res.Constructions) != 1 || res.Constructions[0].Construction != "central" {
+		t.Fatalf("constructions = %+v", res.Constructions)
+	}
+	cs := res.Constructions[0]
+	if cs.Table == nil || len(cs.Table.Rows()) != 3 {
+		t.Fatalf("table rows = %+v, want 3", cs.Table)
+	}
+	if len(cs.Results) != 3 {
+		t.Fatalf("results = %+v, want 3 entries", cs.Results)
+	}
+}
+
+func TestRunSpecReportSection(t *testing.T) {
+	spec := &Spec{Kind: KindReport, Report: &ReportSpec{Experiments: []string{"E9"}, Quick: true}}
+	out := runNormalized(t, spec, 2)
+	var res ReportResult
+	if err := json.Unmarshal(out, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quick || len(res.Experiments) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	sec := res.Experiments[0]
+	if sec.Name != "E9" {
+		t.Fatalf("section name = %q", sec.Name)
+	}
+	if !strings.Contains(sec.Markdown, "E9") {
+		t.Fatalf("markdown lacks the section heading:\n%s", sec.Markdown)
+	}
+	if len(sec.Tables) == 0 {
+		t.Fatal("section captured no tables")
+	}
+}
+
+func TestRunSpecExploreFuzz(t *testing.T) {
+	mk := func() *Spec {
+		return &Spec{Kind: KindExplore, Explore: &ExploreSpec{
+			Mode: "fuzz", Samples: 50, Seed: 1,
+		}}
+	}
+	a := runNormalized(t, mk(), 1)
+	b := runNormalized(t, mk(), 4)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fuzz payload depends on parallelism:\n  a: %s\n  b: %s", a, b)
+	}
+	var res ExploreResult
+	if err := json.Unmarshal(a, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "fuzz" || res.Samples != 50 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Failures == nil {
+		t.Fatal("failures must serialize as [], not null")
+	}
+	if !bytes.Contains(a, []byte(`"failures":[]`)) {
+		t.Fatalf("payload lacks an explicit empty failures array: %s", a)
+	}
+}
+
+func TestRunSpecProgressPhases(t *testing.T) {
+	spec := &Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", MaxN: 4}}
+	if _, err := spec.ID(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewProgress()
+	if _, err := runSpec(context.Background(), spec, p, 2); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	// One phase per construction, plus the initial "queued".
+	var phases []string
+	for _, d := range p.Durations() {
+		phases = append(phases, d.Phase)
+	}
+	want := append([]string{"queued"}, "group-update", "herlihy", "central")
+	if strings.Join(phases, ",") != strings.Join(want, ",") {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+}

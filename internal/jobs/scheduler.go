@@ -1,0 +1,522 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"jayanti98/internal/stats"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// The job states. A job moves queued → running → {done, failed,
+// canceled}; a cache hit is born done.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// ErrQueueFull is returned by Submit when the queue has no room; callers
+// (the HTTP layer) translate it to 503.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrShuttingDown is returned by Submit after Shutdown has begun.
+var ErrShuttingDown = errors.New("jobs: scheduler shutting down")
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the number of jobs run concurrently (≤ 0: 2).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (≤ 0: 64). Submit fails with ErrQueueFull beyond it.
+	QueueDepth int
+	// JobTimeout is the per-job deadline (0: none).
+	JobTimeout time.Duration
+	// SweepParallel is the sweep worker count each job runs beneath it
+	// (≤ 0: one per CPU). It is an execution knob, not part of job
+	// identity: results are parallelism-independent by the determinism
+	// contract.
+	SweepParallel int
+	// Cache is the result cache (nil: a fresh memory-only cache).
+	Cache *Cache
+}
+
+// job is the scheduler's mutable record of one submission.
+type job struct {
+	id   string
+	spec *Spec
+
+	mu       sync.Mutex
+	status   Status
+	cached   bool
+	result   []byte
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	progress *Progress
+	cancel   context.CancelFunc
+	done     chan struct{} // closed on terminal status
+}
+
+// JobView is an immutable snapshot of a job, the unit the HTTP layer
+// serves.
+type JobView struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Spec   *Spec  `json:"spec"`
+	Status Status `json:"status"`
+	// Cached reports that the result was served from the result cache
+	// rather than computed by this job.
+	Cached   bool   `json:"cached"`
+	Progress Event  `json:"progress"`
+	Error    string `json:"error,omitempty"`
+	// Result is the job's payload (present only when Status is done).
+	Result json.RawMessage `json:"result,omitempty"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// Counters is a snapshot of the scheduler's expvar-able counters.
+type Counters struct {
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	CacheServed int64 `json:"cacheServed"`
+	QueueDepth  int64 `json:"queueDepth"`
+	Running     int64 `json:"running"`
+}
+
+// Scheduler runs jobs over a bounded worker pool with per-job
+// cancellation, deadline, and panic isolation, de-duplicating identical
+// specs in flight (two submissions of one hash share one job — the
+// singleflight the content hash makes trivial) and serving repeated specs
+// from the content-addressed cache.
+type Scheduler struct {
+	opts  Options
+	cache *Cache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *job
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	draining bool
+
+	counters struct {
+		submitted, completed, failed, canceled, cacheServed int64
+	}
+	running int64
+
+	phaseMu   sync.Mutex
+	phaseMS   map[string][]float64 // per-phase latency samples, milliseconds
+	nowForDur func() time.Time
+}
+
+// NewScheduler starts a scheduler and its worker pool.
+func NewScheduler(opts Options) (*Scheduler, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	cache := opts.Cache
+	if cache == nil {
+		var err error
+		if cache, err = NewCache(0, ""); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		opts:       opts,
+		cache:      cache,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, opts.QueueDepth),
+		jobs:       make(map[string]*job),
+		phaseMS:    make(map[string][]float64),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Cache returns the scheduler's result cache.
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// Submit normalizes, validates, and hashes spec, then returns the job for
+// that hash: the already-tracked job if one is queued, running, or done
+// (idempotent submission, singleflight de-duplication); a synthetic done
+// job if the cache holds the result; otherwise a freshly enqueued job. A
+// previously failed or canceled hash is resubmitted fresh — a canceled
+// run never poisons the cache or blocks a retry.
+//
+// The returned bool reports whether this call enqueued new work. In the
+// returned view, Cached is true whenever the submission was answered with
+// an existing result (from the cache or from an already-completed job)
+// rather than by computing anything.
+func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
+	id, err := spec.ID()
+	if err != nil {
+		return JobView{}, false, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobView{}, false, ErrShuttingDown
+	}
+	if j, ok := s.jobs[id]; ok {
+		view := j.snapshot()
+		if !(view.Status == StatusFailed || view.Status == StatusCanceled) {
+			if view.Status == StatusDone {
+				view.Cached = true
+				s.counters.cacheServed++
+			}
+			s.mu.Unlock()
+			return view, false, nil
+		}
+		// fall through: replace the failed/canceled record
+	}
+
+	j := &job{
+		id:       id,
+		spec:     spec,
+		status:   StatusQueued,
+		created:  time.Now(),
+		progress: NewProgress(),
+		done:     make(chan struct{}),
+	}
+
+	if result, ok := s.cache.Get(id); ok {
+		now := time.Now()
+		j.status = StatusDone
+		j.cached = true
+		j.result = result
+		j.started, j.finished = now, now
+		j.progress.Set("cached", 1, 1)
+		j.progress.Close()
+		close(j.done)
+		s.jobs[id] = j
+		s.counters.submitted++
+		s.counters.cacheServed++
+		s.mu.Unlock()
+		return j.snapshot(), false, nil
+	}
+
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return JobView{}, false, ErrQueueFull
+	}
+	s.jobs[id] = j
+	s.counters.submitted++
+	s.mu.Unlock()
+	return j.snapshot(), true, nil
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (s *Scheduler) Get(id string) (JobView, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Subscribe attaches to a job's progress stream. The returned snapshot is
+// the state as of subscription; the channel delivers subsequent events
+// and closes when the job reaches a terminal state.
+func (s *Scheduler) Subscribe(id string) (JobView, <-chan Event, func(), bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, nil, nil, false
+	}
+	ch, cancel := j.progress.Subscribe()
+	return j.snapshot(), ch, cancel, true
+}
+
+// Cancel requests cancellation of a queued or running job. Cancelling a
+// queued job is immediate; a running job's context is cancelled and the
+// job reports canceled once its workload unwinds. Cancel returns false
+// for unknown IDs and does nothing to terminal jobs.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCanceled
+		j.finished = time.Now()
+		cancelFn := j.cancel
+		j.mu.Unlock()
+		if cancelFn != nil {
+			cancelFn()
+		}
+		j.progress.Set("canceled", 0, 0)
+		j.progress.Close()
+		close(j.done)
+		s.mu.Lock()
+		s.counters.canceled++
+		s.mu.Unlock()
+		return true
+	case StatusRunning:
+		cancelFn := j.cancel
+		j.mu.Unlock()
+		if cancelFn != nil {
+			cancelFn()
+		}
+		return true
+	default:
+		j.mu.Unlock()
+		return true
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done, and
+// returns the final snapshot.
+func (s *Scheduler) Wait(ctx context.Context, id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return j.snapshot(), ctx.Err()
+	}
+}
+
+// Counters snapshots the scheduler counters.
+func (s *Scheduler) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Counters{
+		Submitted:   s.counters.submitted,
+		Completed:   s.counters.completed,
+		Failed:      s.counters.failed,
+		Canceled:    s.counters.canceled,
+		CacheServed: s.counters.cacheServed,
+		QueueDepth:  int64(len(s.queue)),
+		Running:     s.running,
+	}
+}
+
+// PhaseLatencies summarizes the recorded per-phase wall-clock samples
+// (milliseconds) of completed jobs; the Median and P95 fields are the
+// server's latency lines.
+func (s *Scheduler) PhaseLatencies() map[string]stats.Summary {
+	s.phaseMu.Lock()
+	defer s.phaseMu.Unlock()
+	out := make(map[string]stats.Summary, len(s.phaseMS))
+	for phase, ms := range s.phaseMS {
+		out[phase] = stats.Summarize(ms)
+	}
+	return out
+}
+
+// Shutdown stops accepting submissions, cancels every queued and running
+// job, and waits for the workers to drain — at most until ctx is done.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.baseCancel() // cancels the context under every running job
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: shutdown: %w", ctx.Err())
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+	// Drain path: the queue is closed; any job still queued was either
+	// cancelled explicitly or is abandoned by shutdown — runJob marks
+	// those canceled immediately because the base context is done.
+}
+
+// runJob executes one job with cancellation, deadline, and panic
+// isolation, then records the outcome.
+func (s *Scheduler) runJob(j *job) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	defer cancel()
+
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		// Cancelled while queued; nothing to run.
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+
+	result, err := s.runIsolated(ctx, j)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.result = result
+	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+		// The job unwound because its context ended — cancellation or
+		// deadline, never a result. Nothing is cached.
+		j.status = StatusCanceled
+		j.errMsg = err.Error()
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	}
+	status := j.status
+	j.mu.Unlock()
+
+	if status == StatusDone {
+		// Populate the content-addressed cache; a failed persist demotes
+		// the job to failed rather than caching silently-volatile state.
+		if cerr := s.cache.Put(j.id, result); cerr != nil {
+			j.mu.Lock()
+			j.status = StatusFailed
+			j.errMsg = cerr.Error()
+			j.result = nil
+			status = StatusFailed
+			j.mu.Unlock()
+		}
+	}
+
+	j.progress.Set(string(status), 0, 0)
+	j.progress.Close()
+	close(j.done)
+
+	s.mu.Lock()
+	s.running--
+	switch status {
+	case StatusDone:
+		s.counters.completed++
+	case StatusCanceled:
+		s.counters.canceled++
+	default:
+		s.counters.failed++
+	}
+	s.mu.Unlock()
+
+	if status == StatusDone {
+		s.recordPhases(j)
+	}
+}
+
+// runSpecFn is the spec executor; tests swap it to exercise panic
+// isolation and failure paths without crafting a crashing workload.
+var runSpecFn = runSpec
+
+// runIsolated runs the spec with panics converted to errors, so one
+// crashing job cannot take down the worker pool.
+func (s *Scheduler) runIsolated(ctx context.Context, j *job) (result []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return runSpecFn(ctx, j.spec, j.progress, s.opts.SweepParallel)
+}
+
+// recordPhases folds a completed job's phase durations into the latency
+// samples, keyed kind/phase.
+func (s *Scheduler) recordPhases(j *job) {
+	s.phaseMu.Lock()
+	defer s.phaseMu.Unlock()
+	for _, pd := range j.progress.Durations() {
+		if pd.Phase == "queued" || Status(pd.Phase).Terminal() {
+			continue
+		}
+		key := j.spec.Kind + "/" + pd.Phase
+		s.phaseMS[key] = append(s.phaseMS[key], float64(pd.Duration)/float64(time.Millisecond))
+	}
+}
+
+// snapshot builds the immutable view.
+func (j *job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.id,
+		Kind:     j.spec.Kind,
+		Spec:     j.spec,
+		Status:   j.status,
+		Cached:   j.cached,
+		Progress: j.progress.Snapshot(),
+		Error:    j.errMsg,
+		Created:  j.created,
+	}
+	if j.status == StatusDone {
+		v.Result = json.RawMessage(j.result)
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}

@@ -1,0 +1,298 @@
+// Package jobs is the experiment job service: typed, content-addressed
+// job specs for the repository's workloads (lbreport experiments,
+// universal-construction sweeps, schedule exploration), a
+// bounded-concurrency scheduler that runs them over the deterministic
+// sweep engine, and a content-addressed result cache.
+//
+// Identity and caching rest on one invariant inherited from the sweep
+// engine's determinism contract: a job's result depends only on its
+// normalized Spec — never on worker counts, goroutine scheduling, or wall
+// clock. The job ID is therefore the SHA-256 of the Spec's canonical
+// encoding, and a repeated Spec can be served from cache byte-identically.
+// Execution knobs (sweep parallelism, deadlines) deliberately live in the
+// scheduler, not the Spec: they cannot change a result, so they must not
+// fragment the cache.
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"slices"
+	"sort"
+
+	"jayanti98/internal/experiments"
+	"jayanti98/internal/explore"
+	"jayanti98/internal/lowerbound"
+	"jayanti98/internal/universal"
+)
+
+// Spec is the envelope submitted to the service: a kind plus exactly one
+// kind-specific spec. The zero fields of the active sub-spec are filled
+// with defaults by Normalize before hashing, so semantically identical
+// submissions share one job ID.
+type Spec struct {
+	// Kind selects the workload: "report", "sweep", or "explore".
+	Kind string `json:"kind"`
+
+	Report  *ReportSpec  `json:"report,omitempty"`
+	Sweep   *SweepSpec   `json:"sweep,omitempty"`
+	Explore *ExploreSpec `json:"explore,omitempty"`
+}
+
+// The job kinds.
+const (
+	KindReport  = "report"
+	KindSweep   = "sweep"
+	KindExplore = "explore"
+)
+
+// ReportSpec runs a subset of the E1–E12 experiment report
+// (internal/experiments) and returns each section's markdown plus its
+// tables in structured form.
+type ReportSpec struct {
+	// Experiments selects a subset by name, in any order (empty: all).
+	// Normalization sorts them into report order.
+	Experiments []string `json:"experiments,omitempty"`
+	// Quick shrinks the sweeps to smoke-run sizes.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// SweepSpec sweeps universal constructions over doubling process counts
+// on one object workload (cmd/unisweep as a job).
+type SweepSpec struct {
+	// Type is the object workload: one of lowerbound.SweepTypes().
+	Type string `json:"type"`
+	// Constructions selects constructions by name (empty: all, in
+	// universal.Names() order).
+	Constructions []string `json:"constructions,omitempty"`
+	// MaxN is the largest process count; the sweep doubles from 2.
+	// Defaults to 64.
+	MaxN int `json:"maxN,omitempty"`
+}
+
+// ExploreSpec searches the schedule space of one construction
+// (cmd/explore as a job).
+type ExploreSpec struct {
+	// Alg is the construction under test (universal.Names()).
+	// Defaults to "group-update".
+	Alg string `json:"alg,omitempty"`
+	// Object is the workload (explore.Workloads()). Defaults to
+	// "fetch-increment".
+	Object string `json:"object,omitempty"`
+	// N is the number of processes (default 2).
+	N int `json:"n,omitempty"`
+	// OpsPerProc is operations per process (default 1).
+	OpsPerProc int `json:"opsPerProc,omitempty"`
+	// Mode is "exhaustive" or "fuzz" (default "fuzz").
+	Mode string `json:"mode,omitempty"`
+	// Samples is the fuzz sample count (default 200; ignored for
+	// exhaustive).
+	Samples int `json:"samples,omitempty"`
+	// Seed is the fuzz campaign base seed (default 1; ignored for
+	// exhaustive).
+	Seed int64 `json:"seed,omitempty"`
+	// Budget bounds total steps (0: automatic).
+	Budget int `json:"budget,omitempty"`
+}
+
+// Normalize fills defaults in place so that semantically identical specs
+// produce identical canonical encodings. It is idempotent.
+func (s *Spec) Normalize() {
+	switch s.Kind {
+	case KindReport:
+		if s.Report == nil {
+			s.Report = &ReportSpec{}
+		}
+		if sel, err := experiments.For(s.Report.Experiments); err == nil {
+			if len(sel) == len(experiments.Names()) {
+				// Selecting everything is the same job as selecting nothing.
+				s.Report.Experiments = nil
+			} else {
+				// Store in report order, the order they will run in.
+				names := make([]string, len(sel))
+				for i, e := range sel {
+					names[i] = e.Name
+				}
+				s.Report.Experiments = names
+			}
+		}
+	case KindSweep:
+		if s.Sweep == nil {
+			s.Sweep = &SweepSpec{}
+		}
+		if s.Sweep.MaxN == 0 {
+			s.Sweep.MaxN = 64
+		}
+		if len(s.Sweep.Constructions) > 0 {
+			all := universal.Names()
+			if len(s.Sweep.Constructions) == len(all) && containsAll(s.Sweep.Constructions, all) {
+				s.Sweep.Constructions = nil
+			} else {
+				ordered := make([]string, 0, len(s.Sweep.Constructions))
+				for _, name := range all {
+					if slices.Contains(s.Sweep.Constructions, name) {
+						ordered = append(ordered, name)
+					}
+				}
+				// Unknown names survive normalization (unordered, sorted)
+				// so Validate can reject them deterministically.
+				var unknown []string
+				for _, name := range s.Sweep.Constructions {
+					if !slices.Contains(all, name) {
+						unknown = append(unknown, name)
+					}
+				}
+				sort.Strings(unknown)
+				s.Sweep.Constructions = append(ordered, unknown...)
+			}
+		}
+	case KindExplore:
+		if s.Explore == nil {
+			s.Explore = &ExploreSpec{}
+		}
+		e := s.Explore
+		if e.Alg == "" {
+			e.Alg = "group-update"
+		}
+		if e.Object == "" {
+			e.Object = "fetch-increment"
+		}
+		if e.N == 0 {
+			e.N = 2
+		}
+		if e.OpsPerProc == 0 {
+			e.OpsPerProc = 1
+		}
+		if e.Mode == "" {
+			e.Mode = "fuzz"
+		}
+		if e.Mode == "fuzz" {
+			if e.Samples == 0 {
+				e.Samples = 200
+			}
+			if e.Seed == 0 {
+				e.Seed = 1
+			}
+		} else {
+			// Exhaustive search ignores sampling knobs; zero them so the
+			// cache does not split on irrelevant fields.
+			e.Samples = 0
+			e.Seed = 0
+		}
+	}
+}
+
+// Validate reports the first problem with the (normalized) spec.
+func (s *Spec) Validate() error {
+	set := 0
+	for _, sub := range []bool{s.Report != nil, s.Sweep != nil, s.Explore != nil} {
+		if sub {
+			set++
+		}
+	}
+	switch s.Kind {
+	case KindReport:
+		if s.Report == nil || set != 1 {
+			return fmt.Errorf("jobs: kind %q needs exactly the %q sub-spec", s.Kind, s.Kind)
+		}
+		_, err := experiments.For(s.Report.Experiments)
+		return err
+	case KindSweep:
+		if s.Sweep == nil || set != 1 {
+			return fmt.Errorf("jobs: kind %q needs exactly the %q sub-spec", s.Kind, s.Kind)
+		}
+		if _, err := lowerbound.SweepTypeFor(s.Sweep.Type); err != nil {
+			return err
+		}
+		for _, name := range s.Sweep.Constructions {
+			if !slices.Contains(universal.Names(), name) {
+				return fmt.Errorf("jobs: unknown construction %q", name)
+			}
+		}
+		if s.Sweep.MaxN < 2 || s.Sweep.MaxN > 1<<20 {
+			return fmt.Errorf("jobs: sweep maxN %d out of range [2, 2^20]", s.Sweep.MaxN)
+		}
+		return nil
+	case KindExplore:
+		if s.Explore == nil || set != 1 {
+			return fmt.Errorf("jobs: kind %q needs exactly the %q sub-spec", s.Kind, s.Kind)
+		}
+		e := s.Explore
+		if !slices.Contains(universal.Names(), e.Alg) {
+			return fmt.Errorf("jobs: unknown construction %q", e.Alg)
+		}
+		if !slices.Contains(explore.Workloads(), e.Object) {
+			return fmt.Errorf("jobs: unknown explore workload %q", e.Object)
+		}
+		if e.N < 2 || e.N > 8 {
+			return fmt.Errorf("jobs: explore n %d out of range [2, 8]", e.N)
+		}
+		if e.OpsPerProc < 1 || e.OpsPerProc > 8 {
+			return fmt.Errorf("jobs: explore opsPerProc %d out of range [1, 8]", e.OpsPerProc)
+		}
+		switch e.Mode {
+		case "exhaustive":
+		case "fuzz":
+			if e.Samples < 1 || e.Samples > 1_000_000 {
+				return fmt.Errorf("jobs: explore samples %d out of range [1, 1e6]", e.Samples)
+			}
+		default:
+			return fmt.Errorf("jobs: explore mode %q (want exhaustive or fuzz)", e.Mode)
+		}
+		if e.Budget < 0 {
+			return fmt.Errorf("jobs: explore budget %d negative", e.Budget)
+		}
+		return nil
+	case "":
+		return fmt.Errorf("jobs: missing kind (want %s, %s, or %s)", KindReport, KindSweep, KindExplore)
+	default:
+		return fmt.Errorf("jobs: unknown kind %q (want %s, %s, or %s)", s.Kind, KindReport, KindSweep, KindExplore)
+	}
+}
+
+// Canonical returns the spec's canonical encoding: the normalized spec
+// marshalled to JSON and re-serialized through a generic value, so object
+// keys are sorted and the bytes are independent of struct field order.
+// The spec must already be normalized (ID and the scheduler do this).
+func (s *Spec) Canonical() ([]byte, error) {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: canonical encoding: %w", err)
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("jobs: canonical encoding: %w", err)
+	}
+	out, err := json.Marshal(v) // map keys sort
+	if err != nil {
+		return nil, fmt.Errorf("jobs: canonical encoding: %w", err)
+	}
+	return out, nil
+}
+
+// ID normalizes and validates the spec and returns its content hash — the
+// lowercase hex SHA-256 of the canonical encoding — which is the job ID
+// and the cache key.
+func (s *Spec) ID() (string, error) {
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	canon, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func containsAll(have, want []string) bool {
+	for _, w := range want {
+		if !slices.Contains(have, w) {
+			return false
+		}
+	}
+	return true
+}

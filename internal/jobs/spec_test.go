@@ -1,0 +1,180 @@
+package jobs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// mustID hashes the spec or fails the test.
+func mustID(t *testing.T, s *Spec) string {
+	t.Helper()
+	id, err := s.ID()
+	if err != nil {
+		t.Fatalf("ID(%+v): %v", s, err)
+	}
+	return id
+}
+
+func TestSpecIDDeterministic(t *testing.T) {
+	mk := func() *Spec {
+		return &Spec{Kind: KindExplore, Explore: &ExploreSpec{Mode: "fuzz", Samples: 50}}
+	}
+	a, b := mustID(t, mk()), mustID(t, mk())
+	if a != b {
+		t.Fatalf("same spec hashed differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 || strings.ToLower(a) != a {
+		t.Fatalf("ID %q is not lowercase sha256 hex", a)
+	}
+}
+
+func TestSpecIDDefaultsInvariant(t *testing.T) {
+	cases := []struct {
+		name           string
+		sparse, filled *Spec
+	}{
+		{
+			"explore fuzz defaults",
+			&Spec{Kind: KindExplore, Explore: &ExploreSpec{}},
+			&Spec{Kind: KindExplore, Explore: &ExploreSpec{
+				Alg: "group-update", Object: "fetch-increment",
+				N: 2, OpsPerProc: 1, Mode: "fuzz", Samples: 200, Seed: 1,
+			}},
+		},
+		{
+			"explore nil sub-spec",
+			&Spec{Kind: KindExplore},
+			&Spec{Kind: KindExplore, Explore: &ExploreSpec{}},
+		},
+		{
+			// Exhaustive search ignores sampling knobs entirely.
+			"explore exhaustive zeroes sampling",
+			&Spec{Kind: KindExplore, Explore: &ExploreSpec{Mode: "exhaustive"}},
+			&Spec{Kind: KindExplore, Explore: &ExploreSpec{Mode: "exhaustive", Samples: 999, Seed: 7}},
+		},
+		{
+			"report all experiments == none",
+			&Spec{Kind: KindReport, Report: &ReportSpec{}},
+			&Spec{Kind: KindReport, Report: &ReportSpec{
+				Experiments: []string{"E1", "E2", "E3", "E4/E5", "E6", "E7/E8", "E9", "E10", "E11", "E12"},
+			}},
+		},
+		{
+			"report subset order-insensitive",
+			&Spec{Kind: KindReport, Report: &ReportSpec{Experiments: []string{"E9", "E1"}}},
+			&Spec{Kind: KindReport, Report: &ReportSpec{Experiments: []string{"E1", "E9"}}},
+		},
+		{
+			"sweep default maxN",
+			&Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue"}},
+			&Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", MaxN: 64}},
+		},
+		{
+			"sweep full construction set == none",
+			&Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "stack"}},
+			&Spec{Kind: KindSweep, Sweep: &SweepSpec{
+				Type: "stack", Constructions: []string{"central", "group-update", "herlihy"},
+			}},
+		},
+		{
+			"sweep construction order-insensitive",
+			&Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", Constructions: []string{"central", "herlihy"}}},
+			&Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", Constructions: []string{"herlihy", "central"}}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := mustID(t, tc.sparse), mustID(t, tc.filled)
+			if a != b {
+				t.Fatalf("equivalent specs hashed differently:\n  sparse: %s\n  filled: %s", a, b)
+			}
+		})
+	}
+}
+
+func TestSpecIDNormalizeIdempotent(t *testing.T) {
+	s := &Spec{Kind: KindExplore, Explore: &ExploreSpec{Mode: "fuzz"}}
+	first := mustID(t, s)
+	// Hashing again after normalization must not drift.
+	second := mustID(t, s)
+	if first != second {
+		t.Fatalf("ID not idempotent: %s vs %s", first, second)
+	}
+}
+
+func TestSpecIDDistinguishes(t *testing.T) {
+	specs := []*Spec{
+		{Kind: KindReport},
+		{Kind: KindReport, Report: &ReportSpec{Quick: true}},
+		{Kind: KindReport, Report: &ReportSpec{Experiments: []string{"E1"}}},
+		{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue"}},
+		{Kind: KindSweep, Sweep: &SweepSpec{Type: "stack"}},
+		{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", MaxN: 8}},
+		{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", Constructions: []string{"central"}}},
+		{Kind: KindExplore},
+		{Kind: KindExplore, Explore: &ExploreSpec{Mode: "exhaustive"}},
+		{Kind: KindExplore, Explore: &ExploreSpec{N: 3}},
+		{Kind: KindExplore, Explore: &ExploreSpec{Samples: 500}},
+		{Kind: KindExplore, Explore: &ExploreSpec{Seed: 2}},
+	}
+	seen := make(map[string]int)
+	for i, s := range specs {
+		id := mustID(t, s)
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("specs %d and %d collided on %s", prev, i, id)
+		}
+		seen[id] = i
+	}
+}
+
+func TestSpecIDJSONFieldOrderInvariant(t *testing.T) {
+	// Two wire encodings of one spec, keys in different orders.
+	a := `{"kind":"explore","explore":{"n":3,"alg":"central","mode":"fuzz"}}`
+	b := `{"explore":{"mode":"fuzz","alg":"central","n":3},"kind":"explore"}`
+	var sa, sb Spec
+	if err := json.Unmarshal([]byte(a), &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if ia, ib := mustID(t, &sa), mustID(t, &sb); ia != ib {
+		t.Fatalf("field order changed the hash: %s vs %s", ia, ib)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *Spec
+		want string
+	}{
+		{"missing kind", &Spec{}, "missing kind"},
+		{"unknown kind", &Spec{Kind: "bogus"}, "unknown kind"},
+		{"two sub-specs", &Spec{Kind: KindReport, Report: &ReportSpec{}, Sweep: &SweepSpec{Type: "queue"}}, "exactly"},
+		{"wrong sub-spec", &Spec{Kind: KindSweep, Report: &ReportSpec{}}, "exactly"},
+		{"unknown experiment", &Spec{Kind: KindReport, Report: &ReportSpec{Experiments: []string{"E99"}}}, "unknown name"},
+		{"duplicate experiment", &Spec{Kind: KindReport, Report: &ReportSpec{Experiments: []string{"E1", "E1"}}}, "duplicate"},
+		{"unknown sweep type", &Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "tree"}}, "tree"},
+		{"missing sweep type", &Spec{Kind: KindSweep}, ""},
+		{"unknown construction", &Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", Constructions: []string{"magic"}}}, "magic"},
+		{"sweep maxN too small", &Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", MaxN: 1}}, "out of range"},
+		{"sweep maxN too large", &Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", MaxN: 1 << 21}}, "out of range"},
+		{"explore unknown alg", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Alg: "nope"}}, "nope"},
+		{"explore unknown object", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Object: "nope"}}, "nope"},
+		{"explore n too large", &Spec{Kind: KindExplore, Explore: &ExploreSpec{N: 9}}, "out of range"},
+		{"explore bad mode", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Mode: "guess"}}, "mode"},
+		{"explore samples too large", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Samples: 2_000_000}}, "out of range"},
+		{"explore negative budget", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Budget: -1}}, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.spec.ID(); err == nil {
+				t.Fatalf("ID accepted invalid spec %+v", tc.spec)
+			} else if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

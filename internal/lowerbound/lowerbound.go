@@ -27,6 +27,7 @@
 package lowerbound
 
 import (
+	"context"
 	"fmt"
 
 	"jayanti98/internal/core"
@@ -125,7 +126,14 @@ func SweepWakeup(mk func(n int) machine.Algorithm, ns []int, ta machine.TossAssi
 // identical to the serial sweep at every parallelism level. ta must be a
 // pure function of (pid, j), as HashTosses and machine.ZeroTosses are.
 func SweepWakeupParallel(mk func(n int) machine.Algorithm, ns []int, ta machine.TossAssignment, parallel int) ([]WakeupResult, error) {
-	return sweep.Map(parallel, len(ns), func(i int) (WakeupResult, error) {
+	return SweepWakeupCtx(context.Background(), mk, ns, ta, parallel)
+}
+
+// SweepWakeupCtx is SweepWakeupParallel under a context: cancellation
+// stops dispatching grid points and returns ctx.Err() with the completed
+// prefix (sweep.MapCtx semantics).
+func SweepWakeupCtx(ctx context.Context, mk func(n int) machine.Algorithm, ns []int, ta machine.TossAssignment, parallel int) ([]WakeupResult, error) {
+	return sweep.MapCtx(ctx, parallel, len(ns), func(i int) (WakeupResult, error) {
 		return MeasureWakeup(mk(ns[i]), ns[i], ta)
 	})
 }
@@ -160,6 +168,12 @@ func ExpectedComplexity(mk func(n int) machine.Algorithm, n, samples int, seed i
 // at every parallelism level and the estimate is byte-for-byte
 // reproducible.
 func ExpectedComplexityParallel(mk func(n int) machine.Algorithm, n, samples int, seed int64, parallel int) (ExpectedResult, error) {
+	return ExpectedComplexityCtx(context.Background(), mk, n, samples, seed, parallel)
+}
+
+// ExpectedComplexityCtx is ExpectedComplexityParallel under a context:
+// cancellation abandons the Monte-Carlo estimate and returns ctx.Err().
+func ExpectedComplexityCtx(ctx context.Context, mk func(n int) machine.Algorithm, n, samples int, seed int64, parallel int) (ExpectedResult, error) {
 	res := ExpectedResult{
 		Algorithm: mk(n).Name(),
 		N:         n,
@@ -170,7 +184,7 @@ func ExpectedComplexityParallel(mk func(n int) machine.Algorithm, n, samples int
 		winner, max float64
 		ok          bool
 	}
-	out, err := sweep.Map(parallel, samples, func(i int) (sample, error) {
+	out, err := sweep.MapCtx(ctx, parallel, samples, func(i int) (sample, error) {
 		r, err := MeasureWakeup(mk(n), n, HashTosses(sweep.Derive(seed, i)))
 		if err != nil {
 			return sample{}, err
@@ -209,11 +223,18 @@ func VerifyIndistinguishability(alg machine.Algorithm, n int, ta machine.TossAss
 // independent; the checked count and first violation match the serial
 // pid-order scan.
 func VerifyIndistinguishabilityParallel(alg machine.Algorithm, n int, ta machine.TossAssignment, parallel int) (int, error) {
+	return VerifyIndistinguishabilityCtx(context.Background(), alg, n, ta, parallel)
+}
+
+// VerifyIndistinguishabilityCtx is VerifyIndistinguishabilityParallel
+// under a context: cancellation stops dispatching per-process replays and
+// returns the count of subsets checked so far with ctx.Err().
+func VerifyIndistinguishabilityCtx(ctx context.Context, alg machine.Algorithm, n int, ta machine.TossAssignment, parallel int) (int, error) {
 	run, err := core.RunAll(alg, n, ta, core.Config{})
 	if err != nil {
 		return 0, err
 	}
-	out, err := sweep.Map(parallel, n, func(pid int) (struct{}, error) {
+	out, err := sweep.MapCtx(ctx, parallel, n, func(pid int) (struct{}, error) {
 		s := run.UPProcAt(pid, run.Steps[pid]).Clone()
 		sub, err := core.RunSub(run, s)
 		if err != nil {
@@ -273,7 +294,13 @@ func SweepReduction(spec wakeup.ReductionSpec, construction string, ns []int, ta
 // `parallel` workers (≤ 0 means one per CPU). Every grid point builds its
 // own construction instance (fresh registers), so items share nothing.
 func SweepReductionParallel(spec wakeup.ReductionSpec, construction string, ns []int, ta machine.TossAssignment, parallel int) ([]ReductionResult, error) {
-	return sweep.Map(parallel, len(ns), func(i int) (ReductionResult, error) {
+	return SweepReductionCtx(context.Background(), spec, construction, ns, ta, parallel)
+}
+
+// SweepReductionCtx is SweepReductionParallel under a context
+// (sweep.MapCtx semantics on cancellation).
+func SweepReductionCtx(ctx context.Context, spec wakeup.ReductionSpec, construction string, ns []int, ta machine.TossAssignment, parallel int) ([]ReductionResult, error) {
+	return sweep.MapCtx(ctx, parallel, len(ns), func(i int) (ReductionResult, error) {
 		n := ns[i]
 		alg, obj, err := BuildReduction(spec, construction, n)
 		if err != nil {
@@ -343,7 +370,14 @@ func SweepConstruction(mk func(n int) universal.Construction, op func(n, pid int
 // and simulated memory; the growth fit happens after the barrier, over the
 // index-ordered results.
 func SweepConstructionParallel(mk func(n int) universal.Construction, op func(n, pid int) objtype.Op, ns []int, parallel int) ([]ConstructionResult, stats.Growth, error) {
-	out, err := sweep.Map(parallel, len(ns), func(i int) (ConstructionResult, error) {
+	return SweepConstructionCtx(context.Background(), mk, op, ns, parallel)
+}
+
+// SweepConstructionCtx is SweepConstructionParallel under a context: on
+// cancellation the partial results come back with ctx.Err() and an empty
+// growth classification.
+func SweepConstructionCtx(ctx context.Context, mk func(n int) universal.Construction, op func(n, pid int) objtype.Op, ns []int, parallel int) ([]ConstructionResult, stats.Growth, error) {
+	out, err := sweep.MapCtx(ctx, parallel, len(ns), func(i int) (ConstructionResult, error) {
 		return MeasureConstruction(mk, op, ns[i])
 	})
 	if err != nil {

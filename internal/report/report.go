@@ -3,6 +3,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"regexp"
@@ -77,6 +78,80 @@ func (t *Table) String() string {
 	}
 	return b.String()
 }
+
+// tableJSON is the wire form of a Table: headers plus rows of rendered
+// cells. Cells are strings — exactly what the markdown renderer prints —
+// so the JSON and markdown forms of a report carry identical content.
+type tableJSON struct {
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON encodes the table as {"headers": [...], "rows": [[...]]}.
+// Empty headers and rows encode as [] rather than null, so an empty table
+// round-trips to an empty table.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	j := tableJSON{Headers: t.headers, Rows: t.rows}
+	if j.Headers == nil {
+		j.Headers = []string{}
+	}
+	if j.Rows == nil {
+		j.Rows = [][]string{}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j tableJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	t.headers = j.Headers
+	t.rows = j.Rows
+	return nil
+}
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string {
+	return append([]string(nil), t.headers...)
+}
+
+// Rows returns a copy of the rendered rows.
+func (t *Table) Rows() [][]string {
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]string(nil), r...)
+	}
+	return rows
+}
+
+// Doc is an experiment-section sink that renders markdown exactly like a
+// plain io.Writer would while also recording every table added through
+// Table, so one experiment run can serve both the markdown report
+// (cmd/lbreport) and the structured JSON result (internal/jobs) from a
+// single execution. Doc implements io.Writer: existing Section/Fprintln
+// call sites work unchanged.
+type Doc struct {
+	b      strings.Builder
+	tables []*Table
+}
+
+// Write implements io.Writer over the markdown buffer.
+func (d *Doc) Write(p []byte) (int, error) { return d.b.Write(p) }
+
+// Table renders t into the markdown buffer and records it.
+func (d *Doc) Table(t *Table) error {
+	d.tables = append(d.tables, t)
+	_, err := t.WriteTo(&d.b)
+	return err
+}
+
+// Markdown returns everything rendered so far.
+func (d *Doc) Markdown() string { return d.b.String() }
+
+// Tables returns the recorded tables in render order.
+func (d *Doc) Tables() []*Table { return append([]*Table(nil), d.tables...) }
 
 // Check renders a pass/fail cell from an error.
 func Check(err error) string {

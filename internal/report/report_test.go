@@ -1,7 +1,10 @@
 package report
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -94,5 +97,88 @@ func TestStripTimingsMiddleOfReport(t *testing.T) {
 	}
 	if !strings.Contains(got, "## E1") || !strings.Contains(got, "## E2") {
 		t.Fatalf("section content lost: %q", got)
+	}
+}
+
+// TestTableJSONRoundTrip: marshal → unmarshal must preserve the table, and
+// the rendered markdown must be identical on both sides.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl := NewTable("n", "steps", "check")
+	tbl.AddRow(2, 1, "ok")
+	tbl.AddRow(1024, 5, "FAIL: boom")
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"headers":["n","steps","check"],"rows":[["2","1","ok"],["1024","5","FAIL: boom"]]}`
+	if string(data) != want {
+		t.Fatalf("json = %s, want %s", data, want)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tbl.String() {
+		t.Fatalf("round-trip changed the table:\n%s\nvs\n%s", back.String(), tbl.String())
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("re-marshal differs: %s vs %s", again, data)
+	}
+}
+
+// TestTableJSONEmpty: an empty table encodes with [] (never null) and
+// round-trips to an empty table.
+func TestTableJSONEmpty(t *testing.T) {
+	data, err := json.Marshal(&Table{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"headers":[],"rows":[]}` {
+		t.Fatalf("empty table json = %s", data)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Headers()) != 0 || len(back.Rows()) != 0 {
+		t.Fatalf("empty table round-trip: %+v", back)
+	}
+
+	headersOnly := NewTable("a", "b")
+	data, err = json.Marshal(headersOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"headers":["a","b"],"rows":[]}` {
+		t.Fatalf("headers-only json = %s", data)
+	}
+}
+
+// TestDocCapturesTablesAndMarkdown: a Doc renders byte-identically to a
+// plain writer while recording the tables passed through it.
+func TestDocCapturesTablesAndMarkdown(t *testing.T) {
+	render := func(w io.Writer, table func(*Table) error) {
+		Section(w, 2, "E%d — demo", 1)
+		fmt.Fprintln(w, "preamble")
+		tbl := NewTable("x")
+		tbl.AddRow(7)
+		if err := table(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var plain strings.Builder
+	render(&plain, func(tb *Table) error { _, err := tb.WriteTo(&plain); return err })
+	var doc Doc
+	render(&doc, doc.Table)
+	if doc.Markdown() != plain.String() {
+		t.Fatalf("Doc markdown diverges:\n%q\nvs\n%q", doc.Markdown(), plain.String())
+	}
+	tables := doc.Tables()
+	if len(tables) != 1 || tables[0].Rows()[0][0] != "7" {
+		t.Fatalf("Doc recorded tables = %+v", tables)
 	}
 }

@@ -118,3 +118,74 @@ func TestLog2(t *testing.T) {
 		t.Fatal("Log2(8) != 3")
 	}
 }
+
+// TestSummarizePercentiles pins the nearest-rank Median/P95 definition:
+// rank ⌈p/100·N⌉ of the sorted sample, always an observed value.
+func TestSummarizePercentiles(t *testing.T) {
+	cases := []struct {
+		name        string
+		xs          []float64
+		median, p95 float64
+	}{
+		{"N=1", []float64{42}, 42, 42},
+		{"N=2 even", []float64{10, 20}, 10, 20},
+		{"N=3 odd", []float64{30, 10, 20}, 20, 30},
+		{"N=4 even", []float64{4, 1, 3, 2}, 2, 4},
+		{"N=5 odd", []float64{5, 1, 4, 2, 3}, 3, 5},
+		{"N=20", func() []float64 {
+			xs := make([]float64, 20)
+			for i := range xs {
+				xs[i] = float64(20 - i) // 20..1, unsorted
+			}
+			return xs
+		}(), 10, 19},
+		{"N=100", func() []float64 {
+			xs := make([]float64, 100)
+			for i := range xs {
+				xs[i] = float64(i + 1)
+			}
+			return xs
+		}(), 50, 95},
+		{"ties", []float64{7, 7, 7, 7}, 7, 7},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := append([]float64(nil), c.xs...)
+			s := Summarize(in)
+			if s.Median != c.median || s.P95 != c.p95 {
+				t.Fatalf("Summarize(%v): median=%v p95=%v, want %v/%v", c.xs, s.Median, s.P95, c.median, c.p95)
+			}
+			if got := Percentile(in, 50); got != c.median {
+				t.Fatalf("Percentile(%v, 50) = %v, want %v", c.xs, got, c.median)
+			}
+			if got := Percentile(in, 95); got != c.p95 {
+				t.Fatalf("Percentile(%v, 95) = %v, want %v", c.xs, got, c.p95)
+			}
+			for i := range in {
+				if in[i] != c.xs[i] {
+					t.Fatalf("input mutated at %d: %v != %v", i, in, c.xs)
+				}
+			}
+		})
+	}
+}
+
+func TestPercentileBadInputPanics(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		fn   func()
+	}{
+		{"empty", func() { Percentile(nil, 50) }},
+		{"p=0", func() { Percentile([]float64{1}, 0) }},
+		{"p>100", func() { Percentile([]float64{1}, 101) }},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+}

@@ -16,9 +16,16 @@
 //   - Errors reproduce serial semantics: Map returns the error of the
 //     lowest-indexed failing item together with the results of every item
 //     before it, exactly as the serial loop would have.
+//   - Cancellation (MapCtx) is the one sanctioned breach of determinism:
+//     an uncancelled MapCtx is byte-identical to Map, but once ctx is done
+//     the set of items that managed to complete depends on timing. Callers
+//     must therefore never cache or render the partial results of a
+//     cancelled sweep as if they were a full run — the jobs layer treats
+//     ctx.Err() as "no result" for exactly this reason.
 package sweep
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -48,14 +55,35 @@ func Workers(requested int) int {
 // be skipped. A panicking item re-panics on the caller's goroutine with the
 // worker's stack attached, so a crash looks the same as in the serial loop.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map under a context: once ctx is done, no further items are
+// dispatched, and MapCtx returns ctx.Err() together with the results of
+// the items that completed before the cancellation point — the same
+// (partial results, first error) shape Map produces for a failing item,
+// with the cancellation behaving like an error at the first undispatched
+// index. An item error at a lower index still takes precedence, exactly
+// as in the serial loop.
+//
+// Items already running when ctx is cancelled are not interrupted — fn
+// must watch ctx itself if mid-item cancellation matters. Determinism
+// caveat: which items complete before a cancellation depends on timing,
+// so only the error value (ctx.Err()) is deterministic for a cancelled
+// sweep; an uncancelled MapCtx is byte-identical to Map.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		// The serial path: exactly the loop the engine replaces.
+		// The serial path: exactly the loop the engine replaces, with a
+		// cancellation check before each dispatch.
 		out := make([]T, 0, n)
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			r, err := fn(i)
 			if err != nil {
 				return out, err
@@ -95,6 +123,19 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				// indices past a failed one can never starve an item that
 				// the serial loop would have run.
 				if i >= n || int64(i) > firstErr.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Record the cancellation as this index's error so the
+					// usual lowest-index-wins rule yields the completed
+					// prefix below the first undispatched item.
+					errs[i] = err
+					for {
+						cur := firstErr.Load()
+						if int64(i) >= cur || firstErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
 					return
 				}
 				r, err := fn(i)

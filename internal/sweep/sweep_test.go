@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -205,5 +206,113 @@ func TestMapRaceClean(t *testing.T) {
 		if sums[i] != again[i] {
 			t.Fatalf("item %d differed across parallelism levels", i)
 		}
+	}
+}
+
+// TestMapCtxUncancelledMatchesMap: with a live context, MapCtx is Map.
+func TestMapCtxUncancelledMatchesMap(t *testing.T) {
+	fn := func(i int) (int, error) { return i * 3, nil }
+	want, err := Map(4, 32, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := MapCtx(context.Background(), workers, 32, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapCtxPreCancelled: a context that is already done dispatches nothing.
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		got, err := MapCtx(ctx, workers, 16, func(i int) (int, error) {
+			calls.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if len(got) != 0 || calls.Load() != 0 {
+			t.Fatalf("workers=%d: pre-cancelled sweep ran %d items, returned %v", workers, calls.Load(), got)
+		}
+	}
+}
+
+// TestMapCtxMidRunCancellation: cancelling mid-sweep stops dispatch, returns
+// ctx.Err(), and hands back a completed prefix of results.
+func TestMapCtxMidRunCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		got, err := MapCtx(ctx, workers, 1000, func(i int) (int, error) {
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return i + 1, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if calls.Load() >= 1000 {
+			t.Fatalf("workers=%d: cancellation did not stop dispatch (%d calls)", workers, calls.Load())
+		}
+		// The returned slice must be a completed prefix: values i+1 in order.
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d (not a completed prefix)", workers, i, v, i+1)
+			}
+		}
+	}
+}
+
+// TestMapCtxItemErrorBeatsCancellation: an item error at a lower index takes
+// precedence over a later-observed cancellation, as in the serial loop.
+func TestMapCtxItemErrorBeatsCancellation(t *testing.T) {
+	boom := errors.New("boom at 0")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := MapCtx(ctx, 4, 8, func(i int) (int, error) {
+		if i == 0 {
+			time.Sleep(10 * time.Millisecond)
+			cancel() // cancellation lands while higher items are in flight
+			return 0, boom
+		}
+		time.Sleep(20 * time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the index-0 item error", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("partial results = %v, want none before index 0", got)
+	}
+}
+
+// TestMapCtxDeadline: a deadline context cancels the sweep with
+// DeadlineExceeded.
+func TestMapCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := MapCtx(ctx, 2, 10000, func(i int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

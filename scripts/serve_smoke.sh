@@ -1,0 +1,80 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of cmd/lbserver: build the server,
+# wait for /healthz, submit a quick report job twice, and assert the second
+# submission is answered from the content-addressed result cache with the
+# same job ID. Exercises the full submit → run → cache → idempotent-replay
+# path that the CI serve-smoke job gates on.
+set -eu
+
+ADDR=${LBSERVER_ADDR:-127.0.0.1:18473}
+BASE="http://$ADDR"
+TMP=$(mktemp -d)
+SERVER_PID=
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building lbserver"
+go build -o "$TMP/lbserver" ./cmd/lbserver
+
+"$TMP/lbserver" -addr "$ADDR" -workers 2 -cache-dir "$TMP/cache" &
+SERVER_PID=$!
+
+echo "serve-smoke: waiting for $BASE/healthz"
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "serve-smoke: server never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+SPEC='{"kind":"report","report":{"experiments":["E9"],"quick":true}}'
+
+first=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$SPEC" "$BASE/v1/jobs")
+id=$(printf '%s' "$first" | grep -o '"id":"[0-9a-f]\{64\}"' | head -1 | cut -d'"' -f4)
+if [ -z "$id" ]; then
+    echo "serve-smoke: no job ID in response: $first" >&2
+    exit 1
+fi
+echo "serve-smoke: submitted job $id"
+
+status=
+i=0
+while [ "$i" -lt 300 ]; do
+    view=$(curl -fsS "$BASE/v1/jobs/$id")
+    status=$(printf '%s' "$view" | grep -o '"status":"[a-z]*"' | head -1 | cut -d'"' -f4)
+    case "$status" in
+    done) break ;;
+    failed | canceled)
+        echo "serve-smoke: job ended $status: $view" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ "$status" != done ]; then
+    echo "serve-smoke: job never finished (last status: $status)" >&2
+    exit 1
+fi
+echo "serve-smoke: job done"
+
+second=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$SPEC" "$BASE/v1/jobs")
+printf '%s' "$second" | grep -q "\"id\":\"$id\"" || {
+    echo "serve-smoke: resubmission changed the job ID: $second" >&2
+    exit 1
+}
+printf '%s' "$second" | grep -q '"cached":true' || {
+    echo "serve-smoke: resubmission was not a cache hit: $second" >&2
+    exit 1
+}
+
+stats=$(curl -fsS "$BASE/v1/cache/stats")
+echo "serve-smoke: cache stats: $stats"
+echo "serve-smoke: ok — job $id served from cache on resubmission"
