@@ -10,7 +10,11 @@ FUZZTIME ?= 10s
 # Baseline at the time the gate was added: 90.8%.
 COVER_MIN ?= 88
 
-.PHONY: build vet test race check smoke serve-smoke bench report mutation cover fuzz-short explore-smoke ci
+# Commit identifier stamped into benchmark artifacts (BENCH_<sha>.json).
+# CI passes GITHUB_SHA; local runs fall back to git, then to "local".
+BENCH_SHA ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo local)
+
+.PHONY: build vet test race check smoke serve-smoke bench bench-json profile report mutation cover fuzz-short explore-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +42,21 @@ serve-smoke:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .
+
+# Benchmark baseline artifact: three samples per benchmark, converted to
+# BENCH_<sha>.json (scripts/bench_json.go) so CI can archive one
+# machine-readable baseline per commit and two commits can be diffed.
+bench-json:
+	$(GO) test -run=^$$ -bench=. -benchmem -count=3 . | $(GO) run ./scripts -o BENCH_$(BENCH_SHA).json
+	@echo "wrote BENCH_$(BENCH_SHA).json"
+
+# Quick CPU-hotspot report: profile a quick lbreport run and print the
+# top-10 flat consumers. The profile stays in /tmp for deeper digging
+# (`go tool pprof /tmp/lbreport.cpu.pprof`); the live server exposes the
+# same data on /debug/pprof/.
+profile:
+	$(GO) run ./cmd/lbreport -quick -parallel 4 -cpuprofile /tmp/lbreport.cpu.pprof > /dev/null
+	$(GO) tool pprof -top -nodecount=10 /tmp/lbreport.cpu.pprof
 
 # Regenerate the captured experiment report (full sizes, all CPUs).
 report:

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	lbreport [-o report.md] [-quick] [-parallel N] [-timing=false]
-//	         [-experiments E1,E2,...]
+//	         [-experiments E1,E2,...] [-cpuprofile cpu.pprof]
 //
 // -quick shrinks the sweeps for a fast smoke run. -parallel fans each
 // experiment's (algorithm, n, sample) grid out over N worker goroutines
@@ -18,6 +18,8 @@
 // after each sweep's barrier. With -o the report is written to a temp file
 // in the target directory and atomically renamed into place on success, so
 // a failed run never leaves a partial or truncated report behind.
+// -cpuprofile captures a CPU profile of the whole run for `go tool pprof`
+// (`make profile` wraps this in a quick hotspot report).
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"jayanti98/internal/experiments"
@@ -53,14 +56,34 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (default one per CPU; 1 = serial)")
 	timing := flag.Bool("timing", true, "append a wall-clock line after each experiment")
 	names := flag.String("experiments", "", "comma-separated experiment subset: "+strings.Join(experiments.Names(), ","))
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 	opts := options{Quick: *quick, Parallel: sweep.Workers(*parallel), Timing: *timing}
 	if *names != "" {
 		opts.Experiments = strings.Split(*names, ",")
 	}
-	if err := emit(*out, opts); err != nil {
+	if err := profiled(*cpuprofile, *out, opts); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// profiled runs emit, optionally under CPU profiling. It exists as a
+// function (rather than inline in main) so StopCPUProfile runs via defer
+// before the exit path — log.Fatal in main would skip it and truncate
+// the profile.
+func profiled(cpuprofile, out string, opts options) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	return emit(out, opts)
 }
 
 // emit writes the report to path, or to stdout when path is empty.

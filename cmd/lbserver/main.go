@@ -11,7 +11,15 @@
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
 //	GET    /v1/cache/stats      result-cache counters
 //	GET    /healthz             liveness
+//	GET    /metrics             Prometheus text exposition (internal/obs)
+//	GET    /debug/traces        recent span trees as JSON (?flat=1 for the raw list)
+//	GET    /debug/pprof/        CPU/heap/goroutine profiles (net/http/pprof)
 //	GET    /debug/vars          expvar metrics (counters, cache, latency)
+//
+// Every request runs through the obs middleware: per-route counters and
+// latency histograms on /metrics, one span per request on /debug/traces,
+// and one structured JSON log line per request (correlated by request_id;
+// job lifecycle lines are correlated by job_id).
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, every
 // queued and running job is cancelled, and the worker pool drains within
@@ -23,8 +31,9 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"jayanti98/internal/jobs"
+	"jayanti98/internal/obs"
 )
 
 type options struct {
@@ -44,11 +54,14 @@ type options struct {
 	cacheDir     string
 	cacheEntries int
 	drainTimeout time.Duration
+	logLevel     slog.Level
+	traceSpans   int
 }
 
 func parseFlags(args []string) (options, error) {
 	fs := flag.NewFlagSet("lbserver", flag.ContinueOnError)
 	opts := options{}
+	var logLevel string
 	fs.StringVar(&opts.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&opts.workers, "workers", 2, "concurrent jobs")
 	fs.IntVar(&opts.queueDepth, "queue", 64, "queued-job capacity (submissions beyond it get 503)")
@@ -57,23 +70,31 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&opts.cacheDir, "cache-dir", "", "result-cache directory (empty: memory only)")
 	fs.IntVar(&opts.cacheEntries, "cache-entries", 128, "in-memory result-cache capacity")
 	fs.DurationVar(&opts.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown deadline")
+	fs.StringVar(&logLevel, "log-level", "info", "log level: debug, info, warn, error")
+	fs.IntVar(&opts.traceSpans, "trace-spans", obs.DefaultTraceCapacity, "finished spans retained for /debug/traces")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
 	if fs.NArg() > 0 {
 		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if err := opts.logLevel.UnmarshalText([]byte(logLevel)); err != nil {
+		return options{}, fmt.Errorf("-log-level: %w", err)
+	}
 	return opts, nil
 }
 
 // activeScheduler backs the expvar readers. expvar names are process-global
 // and cannot be unpublished, so the vars indirect through this pointer
-// instead of closing over one scheduler (tests build several).
+// instead of closing over one scheduler (tests build several). The obs
+// registry's GaugeFunc/CounterFunc readings use the same trick internally:
+// the most recently built scheduler re-registers the reader funcs.
 var activeScheduler atomic.Pointer[jobs.Scheduler]
 
 // publishVars registers the service metrics with expvar once per process:
 // job counters (submitted, completed, failed, canceled, queue depth),
 // cache effectiveness, and per-phase latency summaries (median/p95 ms).
+// The same readings are exposed in Prometheus form on /metrics.
 func publishVars() {
 	if expvar.Get("jobs") != nil {
 		return
@@ -98,17 +119,35 @@ func publishVars() {
 	}))
 }
 
-// newMux mounts the job API plus the expvar endpoint.
-func newMux(s *jobs.Scheduler) http.Handler {
+// newMux mounts the job API plus the observability endpoints — /metrics,
+// /debug/traces, /debug/pprof, /debug/vars — and wraps everything in the
+// obs middleware (per-route metrics, request spans, request log lines).
+func newMux(s *jobs.Scheduler, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) http.Handler {
 	activeScheduler.Store(s)
 	publishVars()
 	mux := http.NewServeMux()
-	mux.Handle("/", jobs.NewHandler(s))
+	jobsMux := jobs.NewHandler(s)
+	mux.Handle("/", jobsMux)
+	mux.Handle("GET /metrics", obs.MetricsHandler(reg))
+	mux.Handle("GET /debug/traces", obs.TracesHandler(tracer))
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return mux
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return obs.Middleware(mux, obs.MiddlewareOptions{
+		Registry: reg,
+		Tracer:   tracer,
+		Logger:   logger,
+		// The jobs API is mounted behind "/" on the outer mux, so the
+		// route resolver consults the inner API mux for the granular
+		// "POST /v1/jobs"-style patterns.
+		Route: obs.RouteFromMux(mux, jobsMux),
+	})
 }
 
-func newScheduler(opts options) (*jobs.Scheduler, error) {
+func newScheduler(opts options, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) (*jobs.Scheduler, error) {
 	cache, err := jobs.NewCache(opts.cacheEntries, opts.cacheDir)
 	if err != nil {
 		return nil, err
@@ -119,44 +158,50 @@ func newScheduler(opts options) (*jobs.Scheduler, error) {
 		JobTimeout:    opts.jobTimeout,
 		SweepParallel: opts.sweepWorkers,
 		Cache:         cache,
+		Obs:           reg,
+		Tracer:        tracer,
+		Logger:        logger,
 	})
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lbserver: ")
 	opts, err := parseFlags(os.Args[1:])
 	if err != nil {
 		os.Exit(2)
 	}
-	sched, err := newScheduler(opts)
+	logger := obs.NewLogger(os.Stderr, opts.logLevel)
+	reg := obs.Default()
+	tracer := obs.NewTracer(opts.traceSpans)
+	sched, err := newScheduler(opts, reg, tracer, logger)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("startup", "error", err.Error())
+		os.Exit(1)
 	}
-	srv := &http.Server{Addr: opts.addr, Handler: newMux(sched)}
+	srv := &http.Server{Addr: opts.addr, Handler: newMux(sched, reg, tracer, logger)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s (workers %d, queue %d, cache dir %q)",
-		opts.addr, opts.workers, opts.queueDepth, opts.cacheDir)
+	logger.Info("listening",
+		"addr", opts.addr, "workers", opts.workers, "queue", opts.queueDepth, "cache_dir", opts.cacheDir)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("serve", "error", err.Error())
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("shutting down: draining jobs for up to %s", opts.drainTimeout)
+	logger.Info("shutting down: draining jobs", "drain_timeout", opts.drainTimeout.String())
 	shCtx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err.Error())
 	}
 	if err := sched.Shutdown(shCtx); err != nil {
-		log.Printf("scheduler shutdown: %v", err)
+		logger.Error("scheduler shutdown", "error", err.Error())
 	}
-	log.Printf("drained")
+	logger.Info("drained")
 }

@@ -20,7 +20,11 @@ import (
 // code. The result field of a done job is the cached bytes embedded
 // verbatim (json.RawMessage), so two fetches of one job ID are
 // byte-identical.
-func NewHandler(s *Scheduler) http.Handler {
+//
+// The concrete *http.ServeMux return lets callers that mount the API
+// behind another mux still label requests with the granular API pattern
+// (obs.RouteFromMux consults it as a fallback).
+func NewHandler(s *Scheduler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec

@@ -8,6 +8,7 @@ import (
 	"jayanti98/internal/experiments"
 	"jayanti98/internal/explore"
 	"jayanti98/internal/lowerbound"
+	"jayanti98/internal/obs"
 	"jayanti98/internal/report"
 	"jayanti98/internal/universal"
 )
@@ -130,10 +131,14 @@ func runSweep(ctx context.Context, spec *SweepSpec, p *Progress, parallel int) (
 	for i, name := range constructions {
 		name := name
 		p.Set(name, i, len(constructions))
+		sctx, span := obs.StartSpan(ctx, "sweep "+name)
+		span.SetAttr("construction", name)
+		span.SetAttr("type", spec.Type)
 		mk := func(n int) universal.Construction {
 			return universal.Must(universal.New(name, st.New(n), n, 0))
 		}
-		results, growth, err := lowerbound.SweepConstructionCtx(ctx, mk, st.Op, ns, parallel)
+		results, growth, err := lowerbound.SweepConstructionCtx(sctx, mk, st.Op, ns, parallel)
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -165,6 +170,10 @@ func runExplore(ctx context.Context, spec *ExploreSpec, p *Progress, parallel in
 		Budget:     spec.Budget,
 	}
 	res := &ExploreResult{Mode: spec.Mode, Failures: []ExploreFailure{}}
+	ctx, span := obs.StartSpan(ctx, "explore "+spec.Mode)
+	defer span.End()
+	span.SetAttr("alg", spec.Alg)
+	span.SetAttr("mode", spec.Mode)
 	switch spec.Mode {
 	case "exhaustive":
 		p.Set("exhaustive", 0, 1)

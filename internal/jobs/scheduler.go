@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"jayanti98/internal/obs"
 	"jayanti98/internal/stats"
 )
 
@@ -53,6 +55,18 @@ type Options struct {
 	SweepParallel int
 	// Cache is the result cache (nil: a fresh memory-only cache).
 	Cache *Cache
+	// Obs is the metrics registry the scheduler instruments itself on
+	// (nil: the process obs.Default registry). Counters are cumulative
+	// across schedulers sharing a registry; the queue/running/cache
+	// readings follow the most recently built scheduler, mirroring
+	// cmd/lbserver's expvar indirection.
+	Obs *obs.Registry
+	// Tracer receives one span per executed job, with the experiment
+	// and sweep spans beneath it (nil: obs.DefaultTracer).
+	Tracer *obs.Tracer
+	// Logger receives the scheduler's structured job-lifecycle lines,
+	// each correlated by job_id (nil: discard).
+	Logger *slog.Logger
 }
 
 // job is the scheduler's mutable record of one submission.
@@ -131,6 +145,16 @@ type Scheduler struct {
 	phaseMu   sync.Mutex
 	phaseMS   map[string][]float64 // per-phase latency samples, milliseconds
 	nowForDur func() time.Time
+
+	// Observability sinks (see Options.Obs/Tracer/Logger) and the
+	// counter handles hot paths increment without registry lookups.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	logger *slog.Logger
+	met    struct {
+		submitted, completed, failed, canceled *obs.Counter
+		cacheServed, deduped                   *obs.Counter
+	}
 }
 
 // NewScheduler starts a scheduler and its worker pool.
@@ -158,11 +182,58 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 		jobs:       make(map[string]*job),
 		phaseMS:    make(map[string][]float64),
 	}
+	s.reg = opts.Obs
+	if s.reg == nil {
+		s.reg = obs.Default()
+	}
+	s.tracer = opts.Tracer
+	if s.tracer == nil {
+		s.tracer = obs.DefaultTracer()
+	}
+	s.logger = opts.Logger
+	if s.logger == nil {
+		s.logger = obs.NopLogger()
+	}
+	s.registerMetrics()
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// registerMetrics creates the scheduler's counter handles and points the
+// registry's live readings (queue depth, running jobs, cache counters) at
+// this scheduler.
+func (s *Scheduler) registerMetrics() {
+	r := s.reg
+	s.met.submitted = r.Counter("jobs_submitted_total", "Job submissions accepted (deduplicated and cache-served included).", nil)
+	s.met.completed = r.Counter("jobs_completed_total", "Jobs that finished successfully.", nil)
+	s.met.failed = r.Counter("jobs_failed_total", "Jobs that ended in failure.", nil)
+	s.met.canceled = r.Counter("jobs_canceled_total", "Jobs canceled while queued or running.", nil)
+	s.met.cacheServed = r.Counter("jobs_cache_served_total", "Submissions answered with an existing result instead of new work.", nil)
+	s.met.deduped = r.Counter("jobs_dedup_inflight_total", "Submissions that joined an already-tracked job for the same content hash (singleflight).", nil)
+	r.GaugeFunc("jobs_queue_depth", "Jobs queued but not yet running.", nil, func() float64 {
+		return float64(len(s.queue))
+	})
+	r.GaugeFunc("jobs_running", "Jobs currently executing.", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.running)
+	})
+	cacheReading := func(read func(CacheStats) float64) func() float64 {
+		return func() float64 { return read(s.cache.Stats()) }
+	}
+	r.CounterFunc("jobs_cache_hits_total", "Result-cache lookups served from memory.", nil,
+		cacheReading(func(st CacheStats) float64 { return float64(st.Hits) }))
+	r.CounterFunc("jobs_cache_disk_hits_total", "Result-cache lookups revived from the cache directory.", nil,
+		cacheReading(func(st CacheStats) float64 { return float64(st.DiskHits) }))
+	r.CounterFunc("jobs_cache_misses_total", "Result-cache lookups that found nothing.", nil,
+		cacheReading(func(st CacheStats) float64 { return float64(st.Misses) }))
+	r.CounterFunc("jobs_cache_evictions_total", "In-memory LRU evictions (disk copies survive).", nil,
+		cacheReading(func(st CacheStats) float64 { return float64(st.Evictions) }))
+	r.GaugeFunc("jobs_cache_entries", "Results currently held in memory.", nil,
+		cacheReading(func(st CacheStats) float64 { return float64(st.Entries) }))
 }
 
 // Cache returns the scheduler's result cache.
@@ -196,8 +267,11 @@ func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
 			if view.Status == StatusDone {
 				view.Cached = true
 				s.counters.cacheServed++
+				s.met.cacheServed.Inc()
 			}
 			s.mu.Unlock()
+			s.met.deduped.Inc()
+			s.jobLogger(id, spec.Kind).Debug("submission joined tracked job", "status", string(view.Status))
 			return view, false, nil
 		}
 		// fall through: replace the failed/canceled record
@@ -225,6 +299,9 @@ func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
 		s.counters.submitted++
 		s.counters.cacheServed++
 		s.mu.Unlock()
+		s.met.submitted.Inc()
+		s.met.cacheServed.Inc()
+		s.jobLogger(id, spec.Kind).Debug("submission served from result cache")
 		return j.snapshot(), false, nil
 	}
 
@@ -232,12 +309,21 @@ func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
+		s.jobLogger(id, spec.Kind).Warn("submission rejected: queue full")
 		return JobView{}, false, ErrQueueFull
 	}
 	s.jobs[id] = j
 	s.counters.submitted++
 	s.mu.Unlock()
+	s.met.submitted.Inc()
+	s.jobLogger(id, spec.Kind).Info("job queued")
 	return j.snapshot(), true, nil
+}
+
+// jobLogger is the scheduler's logger with the job correlation attrs
+// every lifecycle line carries.
+func (s *Scheduler) jobLogger(id, kind string) *slog.Logger {
+	return s.logger.With("job_id", obs.ShortID(id), "kind", kind)
 }
 
 // Get returns a snapshot of the job with the given ID.
@@ -292,6 +378,8 @@ func (s *Scheduler) Cancel(id string) bool {
 		s.mu.Lock()
 		s.counters.canceled++
 		s.mu.Unlock()
+		s.met.canceled.Inc()
+		s.jobLogger(j.id, j.spec.Kind).Info("job canceled while queued")
 		return true
 	case StatusRunning:
 		cancelFn := j.cancel
@@ -410,6 +498,16 @@ func (s *Scheduler) runJob(j *job) {
 	s.running++
 	s.mu.Unlock()
 
+	// The job's context carries the correlation ID, logger, and a root
+	// span; the spec runners and the experiments registry hang their
+	// phase spans beneath it, which is what /debug/traces renders as a
+	// scheduler → experiment tree.
+	ctx = obs.WithLogger(obs.WithJobID(ctx, j.id), s.logger)
+	ctx, span := s.tracer.Start(ctx, "job "+j.spec.Kind)
+	span.SetAttr("job_id", obs.ShortID(j.id))
+	span.SetAttr("kind", j.spec.Kind)
+	obs.Logger(ctx).Info("job started")
+
 	result, err := s.runIsolated(ctx, j)
 
 	j.mu.Lock()
@@ -459,6 +557,32 @@ func (s *Scheduler) runJob(j *job) {
 	}
 	s.mu.Unlock()
 
+	j.mu.Lock()
+	elapsed := j.finished.Sub(j.started)
+	errMsg := j.errMsg
+	j.mu.Unlock()
+	switch status {
+	case StatusDone:
+		s.met.completed.Inc()
+	case StatusCanceled:
+		s.met.canceled.Inc()
+	default:
+		s.met.failed.Inc()
+	}
+	s.reg.Histogram("job_duration_seconds", "Job wall clock from start to terminal status, by kind and outcome.",
+		nil, obs.Labels{"kind": j.spec.Kind, "status": string(status)}).Observe(elapsed.Seconds())
+	span.SetAttr("status", string(status))
+	if errMsg != "" {
+		span.SetAttr("error", errMsg)
+	}
+	span.End()
+	logLine := obs.Logger(ctx).With("status", string(status), "duration_ms", float64(elapsed)/float64(time.Millisecond))
+	if status == StatusFailed {
+		logLine.Error("job finished", "error", errMsg)
+	} else {
+		logLine.Info("job finished")
+	}
+
 	if status == StatusDone {
 		s.recordPhases(j)
 	}
@@ -480,16 +604,25 @@ func (s *Scheduler) runIsolated(ctx context.Context, j *job) (result []byte, err
 }
 
 // recordPhases folds a completed job's phase durations into the latency
-// samples, keyed kind/phase.
+// samples, keyed kind/phase, and into the per-phase histogram on the
+// metrics registry.
 func (s *Scheduler) recordPhases(j *job) {
+	durations := j.progress.Durations()
 	s.phaseMu.Lock()
-	defer s.phaseMu.Unlock()
-	for _, pd := range j.progress.Durations() {
+	for _, pd := range durations {
 		if pd.Phase == "queued" || Status(pd.Phase).Terminal() {
 			continue
 		}
 		key := j.spec.Kind + "/" + pd.Phase
 		s.phaseMS[key] = append(s.phaseMS[key], float64(pd.Duration)/float64(time.Millisecond))
+	}
+	s.phaseMu.Unlock()
+	for _, pd := range durations {
+		if pd.Phase == "queued" || Status(pd.Phase).Terminal() {
+			continue
+		}
+		s.reg.Histogram("job_phase_duration_seconds", "Per-phase wall clock of completed jobs, by kind and phase.",
+			nil, obs.Labels{"kind": j.spec.Kind, "phase": pd.Phase}).Observe(pd.Duration.Seconds())
 	}
 }
 

@@ -29,16 +29,55 @@ package lowerbound
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"jayanti98/internal/core"
 	"jayanti98/internal/machine"
 	"jayanti98/internal/objtype"
+	"jayanti98/internal/obs"
 	"jayanti98/internal/shmem"
 	"jayanti98/internal/stats"
 	"jayanti98/internal/sweep"
 	"jayanti98/internal/universal"
 	"jayanti98/internal/wakeup"
 )
+
+// Adversary-loop metrics, on the process Default registry. In paper
+// terms: adversary_rounds_total counts executed rounds of the §5
+// (All,A)-run loop (each round is one five-phase adversary move), and
+// adversary_steps_total counts the shared-access steps of phases 2–5 the
+// executor charged to processes — the quantity t(R) maximizes and
+// Theorem 6.1 lower-bounds. Aggregated per run from the existing step
+// counters (core.AllRun.Rounds / .Steps), so the hot loop itself is
+// untouched.
+var (
+	advMetricsOnce sync.Once
+	advRounds      *obs.Counter
+	advSteps       *obs.Counter
+	advRuns        *obs.Counter
+)
+
+func adversaryMetrics() (rounds, steps, runs *obs.Counter) {
+	advMetricsOnce.Do(func() {
+		r := obs.Default()
+		advRounds = r.Counter("adversary_rounds_total", "Rounds executed by the §5 adversary loop, across all runs.", nil)
+		advSteps = r.Counter("adversary_steps_total", "Shared-access steps forced by the adversary (phases 2–5), across all runs.", nil)
+		advRuns = r.Counter("adversary_runs_total", "Completed (All,A)-runs.", nil)
+	})
+	return advRounds, advSteps, advRuns
+}
+
+// recordRun folds one completed (All,A)-run into the adversary counters.
+func recordRun(run *core.AllRun) {
+	rounds, steps, runs := adversaryMetrics()
+	rounds.Add(int64(len(run.Rounds)))
+	total := 0
+	for _, s := range run.Steps {
+		total += s
+	}
+	steps.Add(int64(total))
+	runs.Inc()
+}
 
 // HashTosses returns a deterministic pseudo-random toss assignment keyed by
 // seed (a splitmix64-style hash of (seed, pid, j)). Different seeds give
@@ -90,6 +129,7 @@ func MeasureWakeup(alg machine.Algorithm, n int, ta machine.TossAssignment) (Wak
 	if err != nil {
 		return WakeupResult{}, fmt.Errorf("lowerbound: %s n=%d: %w", alg.Name(), n, err)
 	}
+	recordRun(run)
 	res := WakeupResult{
 		Algorithm:    alg.Name(),
 		N:            n,
@@ -347,6 +387,7 @@ func MeasureConstruction(mk func(n int) universal.Construction, op func(n, pid i
 	if err != nil {
 		return ConstructionResult{}, fmt.Errorf("lowerbound: %s n=%d: %w", obj.Name(), n, err)
 	}
+	recordRun(run)
 	maxSteps, _ := run.MaxSteps()
 	return ConstructionResult{
 		Construction: obj.Name(),

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareMetricsSpansLogs(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(16)
+	var logBuf bytes.Buffer
+	logger := NewLogger(&logBuf, slog.LevelInfo)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		// Downstream code joins the request's trace and log stream.
+		_, span := StartSpan(r.Context(), "inner")
+		span.End()
+		if RequestID(r.Context()) == "" {
+			t.Error("request id missing from context")
+		}
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, "nope")
+	})
+	h := Middleware(mux, MiddlewareOptions{
+		Registry: reg, Tracer: tr, Logger: logger, Route: RouteFromMux(mux),
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	// Counter labeled with the mux pattern and the real status code.
+	c := reg.Counter("http_requests_total", "", Labels{"route": "GET /v1/jobs/{id}", "code": "404"})
+	if c.Value() != 1 {
+		var sb strings.Builder
+		reg.WritePrometheus(&sb)
+		t.Fatalf("request counter = %d; exposition:\n%s", c.Value(), sb.String())
+	}
+	h2 := reg.Histogram("http_request_duration_seconds", "", nil, Labels{"route": "GET /v1/jobs/{id}"})
+	if h2.Count() != 1 {
+		t.Fatalf("latency histogram count = %d", h2.Count())
+	}
+	if reg.Gauge("http_requests_in_flight", "", nil).Value() != 0 {
+		t.Fatal("in-flight gauge not decremented")
+	}
+
+	// One request span with the inner span as its child.
+	trees := tr.Trees()
+	if len(trees) != 1 || trees[0].Name != "GET /v1/jobs/{id}" {
+		t.Fatalf("trees = %+v", trees)
+	}
+	if trees[0].Attrs["status"] != "404" || trees[0].Attrs["request_id"] == "" {
+		t.Fatalf("span attrs = %v", trees[0].Attrs)
+	}
+	if len(trees[0].Children) != 1 || trees[0].Children[0].Name != "inner" {
+		t.Fatalf("children = %+v", trees[0].Children)
+	}
+
+	// One structured log line carrying the same correlation ID.
+	var line map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("log line: %v (%q)", err, logBuf.String())
+	}
+	if line["route"] != "GET /v1/jobs/{id}" || line["status"] != float64(404) {
+		t.Fatalf("log line = %v", line)
+	}
+	if line["request_id"] != trees[0].Attrs["request_id"] {
+		t.Fatalf("log request_id %v != span %v", line["request_id"], trees[0].Attrs["request_id"])
+	}
+}
+
+func TestMiddlewareFlushPassthrough(t *testing.T) {
+	flushed := false
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("middleware hid the flusher")
+			return
+		}
+		fmt.Fprint(w, "chunk")
+		f.Flush()
+		flushed = true
+	})
+	h := Middleware(inner, MiddlewareOptions{Registry: NewRegistry(), Tracer: NewTracer(4), Logger: NopLogger()})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+	if !flushed || !rec.Flushed {
+		t.Fatalf("flush did not reach the recorder (handler flushed=%v, recorder=%v)", flushed, rec.Flushed)
+	}
+}
+
+func TestMiddlewareImplicit200AndUnmatchedRoute(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /known", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok") // no explicit WriteHeader: implicit 200
+	})
+	h := Middleware(mux, MiddlewareOptions{Registry: reg, Tracer: NewTracer(4), Logger: NopLogger(), Route: RouteFromMux(mux)})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for _, path := range []string{"/known", "/nope"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := reg.Counter("http_requests_total", "", Labels{"route": "GET /known", "code": "200"}).Value(); got != 1 {
+		t.Fatalf("implicit 200 not counted: %d", got)
+	}
+	if got := reg.Counter("http_requests_total", "", Labels{"route": "unmatched", "code": "404"}).Value(); got != 1 {
+		t.Fatalf("unmatched route not labeled: %d", got)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("alpha_total", "Things.", nil).Add(2)
+	rec := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.HasPrefix(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("content type = %q", rec.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(rec.Body.String(), "alpha_total 2") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.Start(context.Background(), "req")
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+
+	rec := httptest.NewRecorder()
+	TracesHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var trees []SpanTree
+	if err := json.Unmarshal(rec.Body.Bytes(), &trees); err != nil {
+		t.Fatalf("traces JSON: %v (%q)", err, rec.Body.String())
+	}
+	if len(trees) != 1 || trees[0].Name != "req" || len(trees[0].Children) != 1 {
+		t.Fatalf("trees = %+v", trees)
+	}
+
+	rec = httptest.NewRecorder()
+	TracesHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?flat=1", nil))
+	var flat []SpanData
+	if err := json.Unmarshal(rec.Body.Bytes(), &flat); err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != 2 {
+		t.Fatalf("flat spans = %d, want 2", len(flat))
+	}
+}

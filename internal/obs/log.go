@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// NewLogger builds the service's structured logger: JSON lines to w at
+// the given level. One line per event, machine-parseable, with the
+// correlation IDs Logger(ctx) appends — the shape every lbserver log line
+// has.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library components (the scheduler in tests) not handed a real one.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewJSONHandler(io.Discard, nil))
+}
+
+type loggerKey struct{}
+type requestIDKey struct{}
+type jobIDKey struct{}
+
+// WithLogger returns a context carrying l as the base logger for
+// Logger(ctx).
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// requestSeq numbers requests process-wide; IDs only need to be unique
+// within one server's log stream, so a counter beats randomness (and
+// keeps tests deterministic).
+var requestSeq atomic.Uint64
+
+// NewRequestID mints the next request correlation ID ("r000001", ...).
+func NewRequestID() string {
+	return fmt.Sprintf("r%06d", requestSeq.Add(1))
+}
+
+// WithRequestID returns a context carrying the request correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request correlation ID in ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// WithJobID returns a context carrying the job correlation ID (the
+// content hash of the job's spec).
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobIDKey{}, id)
+}
+
+// JobID returns the job correlation ID in ctx, or "".
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
+}
+
+// ShortID abbreviates a 64-hex content hash for log lines and span
+// attributes (12 hex chars is plenty against collision in one process's
+// stream); shorter IDs pass through unchanged.
+func ShortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// Logger returns the base logger carried by ctx (or slog.Default) with
+// the context's correlation IDs appended as request_id / job_id attrs, so
+// every line of one request or job carries the same keys.
+func Logger(ctx context.Context) *slog.Logger {
+	l, _ := ctx.Value(loggerKey{}).(*slog.Logger)
+	if l == nil {
+		l = slog.Default()
+	}
+	if id := RequestID(ctx); id != "" {
+		l = l.With("request_id", id)
+	}
+	if id := JobID(ctx); id != "" {
+		l = l.With("job_id", ShortID(id))
+	}
+	return l
+}

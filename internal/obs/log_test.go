@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerCorrelationIDs(t *testing.T) {
+	var buf bytes.Buffer
+	base := NewLogger(&buf, slog.LevelInfo)
+	ctx := WithLogger(context.Background(), base)
+	ctx = WithRequestID(ctx, "r000042")
+	ctx = WithJobID(ctx, strings.Repeat("ab", 32))
+
+	Logger(ctx).Info("hello", "k", "v")
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if line["msg"] != "hello" || line["k"] != "v" {
+		t.Fatalf("line = %v", line)
+	}
+	if line["request_id"] != "r000042" {
+		t.Fatalf("request_id = %v", line["request_id"])
+	}
+	if line["job_id"] != strings.Repeat("ab", 6) {
+		t.Fatalf("job_id = %v, want the 12-char abbreviation", line["job_id"])
+	}
+	if line["level"] != "INFO" {
+		t.Fatalf("level = %v", line["level"])
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := WithLogger(context.Background(), NewLogger(&buf, slog.LevelWarn))
+	Logger(ctx).Info("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("info line emitted below level: %q", buf.String())
+	}
+	Logger(ctx).Warn("kept")
+	if !strings.Contains(buf.String(), "kept") {
+		t.Fatalf("warn line missing: %q", buf.String())
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || !strings.HasPrefix(a, "r") {
+		t.Fatalf("ids %q, %q", a, b)
+	}
+}
+
+func TestShortID(t *testing.T) {
+	if got := ShortID("abc"); got != "abc" {
+		t.Fatalf("short input changed: %q", got)
+	}
+	long := strings.Repeat("0123456789abcdef", 4)
+	if got := ShortID(long); got != long[:12] {
+		t.Fatalf("ShortID = %q", got)
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic and must not write anywhere observable.
+	NopLogger().Error("into the void", "err", "x")
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is the immutable record of a finished span, the unit the ring
+// buffer stores and /debug/traces serves.
+type SpanData struct {
+	// TraceID groups every span of one root operation (an HTTP request,
+	// a job run); it equals the root span's SpanID.
+	TraceID uint64 `json:"traceId"`
+	SpanID  uint64 `json:"spanId"`
+	// ParentID is 0 for a root span.
+	ParentID uint64    `json:"parentId,omitempty"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	// DurationMS is End−Start in milliseconds, precomputed for readers.
+	DurationMS float64           `json:"durationMs"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanTree is a span with its children nested, the shape /debug/traces
+// returns: one tree per root span, children ordered by start time (span
+// ID breaks ties, and IDs are allocation-ordered, so the order is stable).
+type SpanTree struct {
+	SpanData
+	Children []*SpanTree `json:"children,omitempty"`
+}
+
+// Span is a live span. Spans are created by Tracer.Start or StartSpan and
+// finished with End, which exports the record to the tracer's ring
+// buffer. A nil *Span (from StartSpan with no tracer in the context) is a
+// valid no-op: all methods tolerate it, so instrumented code never
+// branches on whether tracing is on.
+type Span struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	data  SpanData
+	ended bool
+}
+
+// SetAttr attaches a key=value attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]string)
+	}
+	s.data.Attrs[key] = value
+}
+
+// End finishes the span and exports it. Idempotent; only the first End
+// exports.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.End = s.tracer.now()
+	s.data.DurationMS = float64(s.data.End.Sub(s.data.Start)) / float64(time.Millisecond)
+	data := s.data
+	if len(s.data.Attrs) > 0 {
+		data.Attrs = make(map[string]string, len(s.data.Attrs))
+		for k, v := range s.data.Attrs {
+			data.Attrs[k] = v
+		}
+	}
+	s.mu.Unlock()
+	s.tracer.export(data)
+}
+
+// Tracer creates spans and keeps the most recent finished ones in a
+// fixed-capacity ring buffer. Span and trace IDs are allocation-ordered
+// per tracer, which keeps tests deterministic and sorts children by
+// creation when start times collide.
+type Tracer struct {
+	nextID atomic.Uint64
+	now    func() time.Time // test seam
+
+	mu   sync.Mutex
+	buf  []SpanData // ring storage, len == cap once full
+	cap  int
+	pos  int // next write index
+	full bool
+}
+
+// DefaultTraceCapacity is the ring size NewTracer uses for capacity ≤ 0.
+const DefaultTraceCapacity = 256
+
+// NewTracer returns a tracer retaining the last `capacity` finished spans
+// (≤ 0: DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity, now: time.Now}
+}
+
+var defaultTracer = NewTracer(0)
+
+// DefaultTracer returns the process-wide tracer, the one cmd/lbserver
+// exposes on /debug/traces.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer returns a context from which StartSpan creates real spans on t.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// SpanFrom returns the span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Start begins a span on t, parented to the span in ctx if any, and
+// returns a context carrying both the tracer and the new span (so nested
+// StartSpan calls build the tree without touching the tracer again).
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	id := t.nextID.Add(1)
+	data := SpanData{SpanID: id, TraceID: id, Name: name, Start: t.now()}
+	if parent := SpanFrom(ctx); parent != nil && parent.tracer == t {
+		parent.mu.Lock()
+		data.ParentID = parent.data.SpanID
+		data.TraceID = parent.data.TraceID
+		parent.mu.Unlock()
+	}
+	s := &Span{tracer: t, data: data}
+	ctx = context.WithValue(WithTracer(ctx, t), spanKey{}, s)
+	return ctx, s
+}
+
+// StartSpan begins a child span on the tracer carried by ctx. With no
+// tracer in the context it returns ctx unchanged and a nil (no-op) span —
+// instrumented library code pays nothing when tracing is not wired up,
+// e.g. the experiments registry running under plain cmd/lbreport.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	return t.Start(ctx, name)
+}
+
+// export appends a finished span to the ring, overwriting the oldest once
+// full.
+func (t *Tracer) export(data SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, data)
+		return
+	}
+	t.buf[t.pos] = data
+	t.pos = (t.pos + 1) % t.cap
+	t.full = true
+}
+
+// Spans returns the retained finished spans, oldest first.
+func (t *Tracer) Spans() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, len(t.buf))
+	if t.full {
+		out = append(out, t.buf[t.pos:]...)
+		out = append(out, t.buf[:t.pos]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Trees assembles the retained spans into forests: one SpanTree per span
+// whose parent is absent from the buffer (roots, or orphans whose parent
+// was overwritten or is still running), ordered oldest root first, with
+// children sorted by (start, span ID).
+func (t *Tracer) Trees() []*SpanTree {
+	spans := t.Spans()
+	nodes := make(map[uint64]*SpanTree, len(spans))
+	for _, s := range spans {
+		nodes[s.SpanID] = &SpanTree{SpanData: s}
+	}
+	var roots []*SpanTree
+	for _, s := range spans { // buffer order keeps roots oldest-first
+		n := nodes[s.SpanID]
+		if parent, ok := nodes[s.ParentID]; ok && s.ParentID != 0 {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortChildren func(n *SpanTree)
+	sortChildren = func(n *SpanTree) {
+		sort.Slice(n.Children, func(i, j int) bool {
+			a, b := n.Children[i], n.Children[j]
+			if !a.Start.Equal(b.Start) {
+				return a.Start.Before(b.Start)
+			}
+			return a.SpanID < b.SpanID
+		})
+		for _, c := range n.Children {
+			sortChildren(c)
+		}
+	}
+	for _, r := range roots {
+		sortChildren(r)
+	}
+	return roots
+}

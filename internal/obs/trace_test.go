@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParentChildOrdering(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, root := tr.Start(context.Background(), "job")
+	root.SetAttr("kind", "report")
+
+	// Children created in order; the second starts after the first ends.
+	c1ctx, c1 := StartSpan(ctx, "E1")
+	if SpanFrom(c1ctx) != c1 {
+		t.Fatal("child span not carried in its context")
+	}
+	_, g1 := StartSpan(c1ctx, "sweep")
+	g1.End()
+	c1.End()
+	_, c2 := StartSpan(ctx, "E2")
+	c2.End()
+	root.End()
+
+	trees := tr.Trees()
+	if len(trees) != 1 {
+		t.Fatalf("trees = %d, want 1", len(trees))
+	}
+	r := trees[0]
+	if r.Name != "job" || r.ParentID != 0 || r.Attrs["kind"] != "report" {
+		t.Fatalf("root = %+v", r.SpanData)
+	}
+	if len(r.Children) != 2 || r.Children[0].Name != "E1" || r.Children[1].Name != "E2" {
+		t.Fatalf("children = %+v", r.Children)
+	}
+	for _, c := range r.Children {
+		if c.ParentID != r.SpanID || c.TraceID != r.TraceID {
+			t.Fatalf("child %s: parent %d trace %d, want %d/%d", c.Name, c.ParentID, c.TraceID, r.SpanID, r.TraceID)
+		}
+	}
+	e1 := r.Children[0]
+	if len(e1.Children) != 1 || e1.Children[0].Name != "sweep" {
+		t.Fatalf("grandchildren = %+v", e1.Children)
+	}
+	if e1.Children[0].TraceID != r.TraceID {
+		t.Fatal("grandchild escaped the trace")
+	}
+	// Children start at or after their parent and end at or before query.
+	if e1.Start.Before(r.Start) || e1.End.After(time.Now()) {
+		t.Fatalf("child timing outside parent: %+v vs %+v", e1.SpanData, r.SpanData)
+	}
+}
+
+func TestStartSpanWithoutTracerIsNoop(t *testing.T) {
+	ctx, span := StartSpan(context.Background(), "orphan")
+	if span != nil {
+		t.Fatal("expected nil span without a tracer in context")
+	}
+	// All methods must tolerate the nil span.
+	span.SetAttr("k", "v")
+	span.End()
+	if SpanFrom(ctx) != nil {
+		t.Fatal("no-op span leaked into the context")
+	}
+}
+
+func TestTracerRingBufferOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, s := tr.Start(context.Background(), fmt.Sprintf("s%d", i))
+		s.End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); s.Name != want {
+			t.Fatalf("span %d = %s, want %s (oldest first)", i, s.Name, want)
+		}
+	}
+}
+
+func TestTreesOrphanedChildIsRoot(t *testing.T) {
+	tr := NewTracer(2)
+	ctx, root := tr.Start(context.Background(), "root")
+	root.End() // exported first, so it is the oldest entry
+	_, a := StartSpan(ctx, "a")
+	a.End()
+	_, b := StartSpan(ctx, "b")
+	b.End() // evicts the root: buffer holds {a, b}, both orphans now
+	trees := tr.Trees()
+	if len(trees) != 2 {
+		t.Fatalf("trees = %d, want the 2 orphans promoted to roots", len(trees))
+	}
+	names := map[string]bool{}
+	for _, n := range trees {
+		if len(n.Children) != 0 {
+			t.Fatalf("orphan %s acquired children: %+v", n.Name, n.Children)
+		}
+		names[n.Name] = true
+	}
+	if !names["a"] || !names["b"] {
+		t.Fatalf("orphans not promoted to roots: %v", names)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTracer(8)
+	_, s := tr.Start(context.Background(), "once")
+	s.End()
+	s.End()
+	s.SetAttr("late", "ignored")
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("exported %d times, want 1", len(spans))
+	}
+	if _, ok := spans[0].Attrs["late"]; ok {
+		t.Fatal("attribute set after End was exported")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(64)
+	ctx, root := tr.Start(context.Background(), "root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cctx, s := StartSpan(ctx, fmt.Sprintf("w%d", w))
+				s.SetAttr("i", fmt.Sprint(i))
+				_, g := StartSpan(cctx, "leaf")
+				g.End()
+				s.End()
+				_ = tr.Trees() // concurrent readers
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Spans()); got != 64 {
+		t.Fatalf("retained %d spans, want the full ring (64)", got)
+	}
+}

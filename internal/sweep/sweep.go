@@ -34,7 +34,33 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"jayanti98/internal/obs"
 )
+
+// Engine metrics, on the process Default registry: how many work items
+// the pool has run, how long each took, and how many workers are busy
+// right now (utilization = busy / configured workers). Observation is two
+// atomic adds plus one time.Now pair per item — noise next to an
+// adversary run, and entirely outside the determinism contract (metrics
+// never feed back into results).
+var (
+	metricsOnce sync.Once
+	tasksTotal  *obs.Counter
+	taskSeconds *obs.Histogram
+	workersBusy *obs.Gauge
+)
+
+func engineMetrics() (*obs.Counter, *obs.Histogram, *obs.Gauge) {
+	metricsOnce.Do(func() {
+		r := obs.Default()
+		tasksTotal = r.Counter("sweep_tasks_total", "Work items completed by the sweep worker pool.", nil)
+		taskSeconds = r.Histogram("sweep_task_duration_seconds", "Per-item wall clock in the sweep worker pool.", nil, nil)
+		workersBusy = r.Gauge("sweep_workers_busy", "Sweep workers currently running an item.", nil)
+	})
+	return tasksTotal, taskSeconds, workersBusy
+}
 
 // Workers resolves a worker-count request: values ≥ 1 are returned as is,
 // anything else (0, negative) means "one worker per available CPU",
@@ -76,6 +102,19 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 	if workers > n {
 		workers = n
 	}
+	tasks, latency, busy := engineMetrics()
+	// runItem is fn(i) bracketed by the engine metrics; the deferred
+	// close-out keeps the busy gauge balanced even when fn panics.
+	runItem := func(i int) (T, error) {
+		busy.Inc()
+		start := time.Now()
+		defer func() {
+			latency.Observe(time.Since(start).Seconds())
+			busy.Dec()
+			tasks.Inc()
+		}()
+		return fn(i)
+	}
 	if workers <= 1 {
 		// The serial path: exactly the loop the engine replaces, with a
 		// cancellation check before each dispatch.
@@ -84,7 +123,7 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			r, err := fn(i)
+			r, err := runItem(i)
 			if err != nil {
 				return out, err
 			}
@@ -138,7 +177,7 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 					}
 					return
 				}
-				r, err := fn(i)
+				r, err := runItem(i)
 				if err != nil {
 					errs[i] = err
 					for {

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: jayanti98
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkWakeupCentral/n=8-4         	     100	  11027719 ns/op	   24.00 winner-steps	    2048 B/op	      12 allocs/op
+BenchmarkWakeupCentral/n=8-4         	     102	  10899100 ns/op	   24.00 winner-steps	    2040 B/op	      12 allocs/op
+BenchmarkReport-4                    	       2	 500000000 ns/op
+PASS
+ok  	jayanti98	3.21s
+`
+
+func TestParse(t *testing.T) {
+	out, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Env["goos"] != "linux" || out.Env["pkg"] != "jayanti98" || out.Env["cpu"] != "Intel(R) Xeon(R) CPU" {
+		t.Fatalf("env = %v", out.Env)
+	}
+	if len(out.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks", len(out.Benchmarks))
+	}
+	b := out.Benchmarks[0]
+	if b.Name != "BenchmarkWakeupCentral/n=8-4" || len(b.Runs) != 2 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	if b.Runs[0].Iterations != 100 || b.Runs[0].Metrics["ns/op"] != 11027719 ||
+		b.Runs[0].Metrics["winner-steps"] != 24 || b.Runs[0].Metrics["allocs/op"] != 12 {
+		t.Fatalf("first run = %+v", b.Runs[0])
+	}
+	if got := b.Mean["ns/op"]; math.Abs(got-10963409.5) > 1e-6 {
+		t.Fatalf("mean ns/op = %v", got)
+	}
+	if got := b.Mean["B/op"]; got != 2044 {
+		t.Fatalf("mean B/op = %v", got)
+	}
+	if got := out.Benchmarks[1]; got.Name != "BenchmarkReport-4" || len(got.Runs) != 1 || got.Mean["ns/op"] != 5e8 {
+		t.Fatalf("second benchmark = %+v", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-4\t100\t12 ns/op\textra",
+		"BenchmarkX-4\tNaNiter\t12 ns/op",
+		"BenchmarkX-4\t100\tabc ns/op",
+	} {
+		if _, err := parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("parse accepted %q", line)
+		}
+	}
+}
+
+func TestParseBareNameLine(t *testing.T) {
+	out, err := parse(strings.NewReader("BenchmarkX\nBenchmarkX-4 \t 10\t5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 1 || out.Benchmarks[0].Name != "BenchmarkX-4" {
+		t.Fatalf("benchmarks = %+v", out.Benchmarks)
+	}
+}

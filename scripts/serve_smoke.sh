@@ -3,7 +3,11 @@
 # wait for /healthz, submit a quick report job twice, and assert the second
 # submission is answered from the content-addressed result cache with the
 # same job ID. Exercises the full submit → run → cache → idempotent-replay
-# path that the CI serve-smoke job gates on.
+# path that the CI serve-smoke job gates on, then checks the observability
+# surface: /healthz and /metrics must answer 200, and after the job
+# /metrics must show a completed job, a populated request-latency
+# histogram, and the cache counters; /debug/traces must contain the job's
+# span.
 set -eu
 
 ADDR=${LBSERVER_ADDR:-127.0.0.1:18473}
@@ -77,4 +81,37 @@ printf '%s' "$second" | grep -q '"cached":true' || {
 
 stats=$(curl -fsS "$BASE/v1/cache/stats")
 echo "serve-smoke: cache stats: $stats"
+
+# check_status URL: fail loudly on any non-200 answer. The earlier curls
+# tolerate transient failures (server still starting); from here on a
+# bad status is a bug.
+check_status() {
+    code=$(curl -sS -o /dev/null -w '%{http_code}' "$1")
+    if [ "$code" != 200 ]; then
+        echo "serve-smoke: GET $1 answered $code, want 200" >&2
+        exit 1
+    fi
+}
+check_status "$BASE/healthz"
+check_status "$BASE/metrics"
+
+metrics=$(curl -fsS "$BASE/metrics")
+for want in \
+    'jobs_completed_total 1' \
+    'http_request_duration_seconds_count{route="POST /v1/jobs"} 2' \
+    jobs_cache_hits_total \
+    jobs_cache_misses_total; do
+    printf '%s' "$metrics" | grep -qF "$want" || {
+        echo "serve-smoke: /metrics missing '$want'" >&2
+        printf '%s\n' "$metrics" >&2
+        exit 1
+    }
+done
+echo "serve-smoke: /metrics shows the completed job and request latency"
+
+curl -fsS "$BASE/debug/traces" | grep -q '"name": "job report"' || {
+    echo "serve-smoke: /debug/traces has no job span" >&2
+    exit 1
+}
+echo "serve-smoke: /debug/traces shows the job span"
 echo "serve-smoke: ok — job $id served from cache on resubmission"
