@@ -14,7 +14,7 @@ COVER_MIN ?= 88
 # CI passes GITHUB_SHA; local runs fall back to git, then to "local".
 BENCH_SHA ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo local)
 
-.PHONY: build vet test race check smoke serve-smoke bench bench-json profile report mutation cover fuzz-short explore-smoke ci
+.PHONY: build vet test race check smoke serve-smoke dist-smoke bench bench-json profile report mutation cover fuzz-short explore-smoke ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,12 @@ smoke:
 # twice, and assert the resubmission is a cache hit with the same job ID.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Smoke the distributed subsystem: 1 coordinator + 2 workers, one worker
+# SIGKILLed mid-job, and the merged result must be byte-identical to a
+# local no-worker run.
+dist-smoke:
+	./scripts/dist_smoke.sh
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .

@@ -5,11 +5,22 @@
 // submissions of one spec share one job and are served byte-identically
 // from the content-addressed result cache.
 //
+// The server is also the coordinator of the distributed execution
+// subsystem (internal/dist): shardable jobs are split into leased work
+// units that cmd/lbworker processes pull, execute, and upload; the
+// merged result is byte-identical to an in-process run, and with no
+// workers polling every job simply runs locally.
+//
 //	POST   /v1/jobs             submit a spec (idempotent on content hash)
 //	GET    /v1/jobs/{id}        status, progress, result
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
+//	GET    /v1/jobs             list jobs (?status= filters)
 //	GET    /v1/cache/stats      result-cache counters
+//	POST   /v1/shards/lease     lbworker pull protocol: lease a shard
+//	POST   /v1/shards/{id}/result    upload a shard payload (content-hashed)
+//	POST   /v1/shards/{id}/heartbeat extend a shard lease
+//	GET    /v1/shards           coordinator ledger snapshot
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition (internal/obs)
 //	GET    /debug/traces        recent span trees as JSON (?flat=1 for the raw list)
@@ -41,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"jayanti98/internal/dist"
 	"jayanti98/internal/jobs"
 	"jayanti98/internal/obs"
 )
@@ -56,6 +68,9 @@ type options struct {
 	drainTimeout time.Duration
 	logLevel     slog.Level
 	traceSpans   int
+	dist         bool
+	leaseTTL     time.Duration
+	distShards   int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -72,11 +87,20 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&opts.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown deadline")
 	fs.StringVar(&logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	fs.IntVar(&opts.traceSpans, "trace-spans", obs.DefaultTraceCapacity, "finished spans retained for /debug/traces")
+	fs.BoolVar(&opts.dist, "dist", true, "offer shardable jobs to polling lbworkers (jobs run locally when no workers poll)")
+	fs.DurationVar(&opts.leaseTTL, "lease-ttl", 15*time.Second, "shard lease lifetime without a heartbeat before re-lease")
+	fs.IntVar(&opts.distShards, "dist-shards", 8, "maximum shards one job is split into")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
 	if fs.NArg() > 0 {
 		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if opts.leaseTTL <= 0 {
+		return options{}, fmt.Errorf("-lease-ttl must be positive, got %s", opts.leaseTTL)
+	}
+	if opts.distShards < 1 {
+		return options{}, fmt.Errorf("-dist-shards must be at least 1, got %d", opts.distShards)
 	}
 	if err := opts.logLevel.UnmarshalText([]byte(logLevel)); err != nil {
 		return options{}, fmt.Errorf("-log-level: %w", err)
@@ -119,15 +143,20 @@ func publishVars() {
 	}))
 }
 
-// newMux mounts the job API plus the observability endpoints — /metrics,
-// /debug/traces, /debug/pprof, /debug/vars — and wraps everything in the
-// obs middleware (per-route metrics, request spans, request log lines).
-func newMux(s *jobs.Scheduler, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) http.Handler {
+// newMux mounts the job API, the distributed shard protocol (when a
+// coordinator is configured), and the observability endpoints —
+// /metrics, /debug/traces, /debug/pprof, /debug/vars — and wraps
+// everything in the obs middleware (per-route metrics, request spans,
+// request log lines).
+func newMux(s *jobs.Scheduler, coord *dist.Coordinator, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) http.Handler {
 	activeScheduler.Store(s)
 	publishVars()
 	mux := http.NewServeMux()
 	jobsMux := jobs.NewHandler(s)
 	mux.Handle("/", jobsMux)
+	if coord != nil {
+		coord.RegisterRoutes(mux)
+	}
 	mux.Handle("GET /metrics", obs.MetricsHandler(reg))
 	mux.Handle("GET /debug/traces", obs.TracesHandler(tracer))
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -147,12 +176,26 @@ func newMux(s *jobs.Scheduler, reg *obs.Registry, tracer *obs.Tracer, logger *sl
 	})
 }
 
-func newScheduler(opts options, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) (*jobs.Scheduler, error) {
+// newCoordinator builds the distributed-execution coordinator, or nil
+// with -dist=false (jobs then always run in-process).
+func newCoordinator(opts options, reg *obs.Registry, logger *slog.Logger) *dist.Coordinator {
+	if !opts.dist {
+		return nil
+	}
+	return dist.NewCoordinator(dist.Options{
+		LeaseTTL:  opts.leaseTTL,
+		MaxShards: opts.distShards,
+		Obs:       reg,
+		Logger:    logger,
+	})
+}
+
+func newScheduler(opts options, coord *dist.Coordinator, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) (*jobs.Scheduler, error) {
 	cache, err := jobs.NewCache(opts.cacheEntries, opts.cacheDir)
 	if err != nil {
 		return nil, err
 	}
-	return jobs.NewScheduler(jobs.Options{
+	jopts := jobs.Options{
 		Workers:       opts.workers,
 		QueueDepth:    opts.queueDepth,
 		JobTimeout:    opts.jobTimeout,
@@ -161,7 +204,13 @@ func newScheduler(opts options, reg *obs.Registry, tracer *obs.Tracer, logger *s
 		Obs:           reg,
 		Tracer:        tracer,
 		Logger:        logger,
-	})
+	}
+	if coord != nil {
+		// The interface value must stay nil when the coordinator is nil —
+		// a typed nil would make the scheduler call through it.
+		jopts.Dist = coord
+	}
+	return jobs.NewScheduler(jopts)
 }
 
 func main() {
@@ -172,12 +221,13 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, opts.logLevel)
 	reg := obs.Default()
 	tracer := obs.NewTracer(opts.traceSpans)
-	sched, err := newScheduler(opts, reg, tracer, logger)
+	coord := newCoordinator(opts, reg, logger)
+	sched, err := newScheduler(opts, coord, reg, tracer, logger)
 	if err != nil {
 		logger.Error("startup", "error", err.Error())
 		os.Exit(1)
 	}
-	srv := &http.Server{Addr: opts.addr, Handler: newMux(sched, reg, tracer, logger)}
+	srv := &http.Server{Addr: opts.addr, Handler: newMux(sched, coord, reg, tracer, logger)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -22,6 +22,7 @@ func TestParseFlags(t *testing.T) {
 		"-addr", ":9999", "-workers", "4", "-queue", "8",
 		"-job-timeout", "5s", "-cache-dir", "/tmp/x", "-cache-entries", "7",
 		"-drain-timeout", "2s", "-log-level", "debug", "-trace-spans", "32",
+		"-dist=false", "-lease-ttl", "3s", "-dist-shards", "5",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -29,14 +30,28 @@ func TestParseFlags(t *testing.T) {
 	if opts.addr != ":9999" || opts.workers != 4 || opts.queueDepth != 8 ||
 		opts.jobTimeout != 5*time.Second || opts.cacheDir != "/tmp/x" ||
 		opts.cacheEntries != 7 || opts.drainTimeout != 2*time.Second ||
-		opts.logLevel != slog.LevelDebug || opts.traceSpans != 32 {
+		opts.logLevel != slog.LevelDebug || opts.traceSpans != 32 ||
+		opts.dist || opts.leaseTTL != 3*time.Second || opts.distShards != 5 {
 		t.Fatalf("opts = %+v", opts)
+	}
+	defaults, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !defaults.dist || defaults.leaseTTL != 15*time.Second || defaults.distShards != 8 {
+		t.Fatalf("dist defaults = %+v", defaults)
 	}
 	if _, err := parseFlags([]string{"stray"}); err == nil {
 		t.Fatal("positional arguments accepted")
 	}
 	if _, err := parseFlags([]string{"-log-level", "shouty"}); err == nil {
 		t.Fatal("bad log level accepted")
+	}
+	if _, err := parseFlags([]string{"-lease-ttl", "-1s"}); err == nil {
+		t.Fatal("negative lease TTL accepted")
+	}
+	if _, err := parseFlags([]string{"-dist-shards", "0"}); err == nil {
+		t.Fatal("zero shard bound accepted")
 	}
 }
 
@@ -48,7 +63,8 @@ func newTestServer(t *testing.T, opts options) (*jobs.Scheduler, *httptest.Serve
 	tracer := obs.NewTracer(64)
 	var logBuf bytes.Buffer
 	logger := obs.NewLogger(&logBuf, slog.LevelDebug)
-	sched, err := newScheduler(opts, reg, tracer, logger)
+	coord := newCoordinator(opts, reg, logger)
+	sched, err := newScheduler(opts, coord, reg, tracer, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +75,7 @@ func newTestServer(t *testing.T, opts options) (*jobs.Scheduler, *httptest.Serve
 			t.Errorf("shutdown: %v", err)
 		}
 	})
-	srv := httptest.NewServer(newMux(sched, reg, tracer, logger))
+	srv := httptest.NewServer(newMux(sched, coord, reg, tracer, logger))
 	t.Cleanup(srv.Close)
 	return sched, srv, reg, tracer, &logBuf
 }
@@ -222,11 +238,11 @@ func TestNewMuxIdempotentExpvars(t *testing.T) {
 		reg := obs.NewRegistry()
 		tracer := obs.NewTracer(8)
 		logger := obs.NopLogger()
-		sched, err := newScheduler(options{workers: 1, queueDepth: 4, cacheEntries: 4}, reg, tracer, logger)
+		sched, err := newScheduler(options{workers: 1, queueDepth: 4, cacheEntries: 4}, nil, reg, tracer, logger)
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv := httptest.NewServer(newMux(sched, reg, tracer, logger))
+		srv := httptest.NewServer(newMux(sched, nil, reg, tracer, logger))
 		for _, path := range []string{"/debug/vars", "/metrics"} {
 			resp, err := http.Get(srv.URL + path)
 			if err != nil {

@@ -1,0 +1,98 @@
+// Command lbworker is the pull side of the distributed execution
+// subsystem (internal/dist): it polls an lbserver coordinator for shard
+// leases, executes each shard through the same in-process entry points a
+// local job would use, streams heartbeats while working, and uploads the
+// content-hashed payload. Run as many lbworker processes — on as many
+// machines — as the workload deserves; the coordinator merges shard
+// results index-ordered, so the fleet's output is byte-identical to a
+// serial in-process run of the same spec, and a killed worker only costs
+// a lease timeout before its shard is re-leased elsewhere.
+//
+// The worker is stateless: all ordering, retry bookkeeping, and merge
+// logic lives on the coordinator. Stopping a worker (SIGINT/SIGTERM) is
+// always safe.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jayanti98/internal/dist"
+	"jayanti98/internal/obs"
+)
+
+type options struct {
+	server     string
+	id         string
+	parallel   int
+	maxRetries int
+	backoff    time.Duration
+	backoffMax time.Duration
+	logLevel   slog.Level
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("lbworker", flag.ContinueOnError)
+	opts := options{}
+	var logLevel string
+	fs.StringVar(&opts.server, "server", "http://127.0.0.1:8080", "coordinator base URL")
+	fs.StringVar(&opts.id, "id", "", "worker identity (default: <hostname>-<pid>)")
+	fs.IntVar(&opts.parallel, "parallel", 0, "goroutines per shard (0: one per CPU)")
+	fs.IntVar(&opts.maxRetries, "max-retries", 8, "consecutive transport failures tolerated before exiting")
+	fs.DurationVar(&opts.backoff, "backoff", 100*time.Millisecond, "initial idle/retry poll delay")
+	fs.DurationVar(&opts.backoffMax, "backoff-max", 5*time.Second, "exponential backoff cap")
+	fs.StringVar(&logLevel, "log-level", "info", "log level: debug, info, warn, error")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if opts.maxRetries < 1 {
+		return options{}, fmt.Errorf("-max-retries must be at least 1, got %d", opts.maxRetries)
+	}
+	if opts.backoff <= 0 || opts.backoffMax < opts.backoff {
+		return options{}, fmt.Errorf("backoff range [%s, %s] invalid: need 0 < -backoff ≤ -backoff-max",
+			opts.backoff, opts.backoffMax)
+	}
+	if err := opts.logLevel.UnmarshalText([]byte(logLevel)); err != nil {
+		return options{}, fmt.Errorf("-log-level: %w", err)
+	}
+	return opts, nil
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, opts.logLevel)
+	worker, err := dist.NewWorker(dist.WorkerOptions{
+		Server:      opts.server,
+		ID:          opts.id,
+		Parallel:    opts.parallel,
+		MaxRetries:  opts.maxRetries,
+		BackoffBase: opts.backoff,
+		BackoffMax:  opts.backoffMax,
+		Logger:      logger,
+	})
+	if err != nil {
+		logger.Error("startup", "error", err.Error())
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("polling", "server", opts.server, "worker", worker.ID())
+	if err := worker.Run(ctx); err != nil {
+		logger.Error("worker stopped", "error", err.Error())
+		os.Exit(1)
+	}
+	logger.Info("stopped")
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"log/slog"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-server", "http://10.0.0.1:9000", "-id", "w7", "-parallel", "3",
+		"-max-retries", "4", "-backoff", "50ms", "-backoff-max", "2s",
+		"-log-level", "warn",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.server != "http://10.0.0.1:9000" || opts.id != "w7" || opts.parallel != 3 ||
+		opts.maxRetries != 4 || opts.backoff != 50*time.Millisecond ||
+		opts.backoffMax != 2*time.Second || opts.logLevel != slog.LevelWarn {
+		t.Fatalf("opts = %+v", opts)
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	opts, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.server != "http://127.0.0.1:8080" || opts.maxRetries != 8 ||
+		opts.backoff != 100*time.Millisecond || opts.backoffMax != 5*time.Second ||
+		opts.parallel != 0 || opts.id != "" {
+		t.Fatalf("defaults = %+v", opts)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	cases := [][]string{
+		{"stray"},
+		{"-log-level", "shouty"},
+		{"-max-retries", "0"},
+		{"-backoff", "0s"},
+		{"-backoff", "2s", "-backoff-max", "1s"}, // cap below base
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}

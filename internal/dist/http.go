@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"jayanti98/internal/jobs"
+)
+
+// The shard pull protocol, mounted on lbserver next to the jobs API:
+//
+//	POST /v1/shards/lease          poll for work; 200 with a grant or 204
+//	POST /v1/shards/{id}/result    upload a shard payload (content-hashed)
+//	POST /v1/shards/{id}/heartbeat extend the lease
+//	GET  /v1/shards                coordinator ledger snapshot
+//
+// Status codes carry the protocol's verdicts: 404 for a shard the
+// coordinator no longer tracks (job finished or canceled — abandon), 409
+// for a stale lease (the shard was re-leased — abandon), 400 for a
+// corrupt upload (hash mismatch — retry the upload).
+
+// LeaseRequest is the worker's poll.
+type LeaseRequest struct {
+	// Worker identifies the poller; liveness and lease ownership hang
+	// off it. Workers must pick names unique within the fleet.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse is a granted shard in wire form.
+type LeaseResponse struct {
+	ShardID   string     `json:"shardId"`
+	Lease     int64      `json:"lease"`
+	TTLMillis int64      `json:"ttlMillis"`
+	Spec      *jobs.Spec `json:"spec"`
+	Range     Range      `json:"range"`
+}
+
+// ResultRequest is a shard payload upload.
+type ResultRequest struct {
+	Worker string `json:"worker"`
+	Lease  int64  `json:"lease"`
+	// Hash is the lowercase hex SHA-256 of Payload; the coordinator
+	// recomputes and verifies it before accepting, so a truncated or
+	// corrupted body can never reach the merge.
+	Hash    string          `json:"hash"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// HeartbeatRequest extends a lease.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Lease  int64  `json:"lease"`
+}
+
+// RegisterRoutes mounts the shard protocol on mux.
+func (c *Coordinator) RegisterRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/shards/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if err := decodeBody(r, &req); err != nil {
+			distError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Worker == "" {
+			distError(w, http.StatusBadRequest, errors.New("dist: lease request without worker"))
+			return
+		}
+		grant := c.Lease(req.Worker)
+		if grant == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		distJSON(w, http.StatusOK, LeaseResponse{
+			ShardID:   grant.ShardID,
+			Lease:     grant.Lease,
+			TTLMillis: grant.TTL.Milliseconds(),
+			Spec:      grant.Spec,
+			Range:     grant.Range,
+		})
+	})
+
+	mux.HandleFunc("POST /v1/shards/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		var req ResultRequest
+		if err := decodeBody(r, &req); err != nil {
+			distError(w, http.StatusBadRequest, err)
+			return
+		}
+		err := c.Result(r.PathValue("id"), req.Lease, req.Hash, []byte(req.Payload))
+		if err != nil {
+			distError(w, statusFor(err), err)
+			return
+		}
+		distJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
+	})
+
+	mux.HandleFunc("POST /v1/shards/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if err := decodeBody(r, &req); err != nil {
+			distError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := c.Heartbeat(r.PathValue("id"), req.Lease); err != nil {
+			distError(w, statusFor(err), err)
+			return
+		}
+		distJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		distJSON(w, http.StatusOK, c.Snapshot())
+	})
+}
+
+// statusFor maps protocol verdicts to status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownShard):
+		return http.StatusNotFound
+	case errors.Is(err, ErrLeaseLost):
+		return http.StatusConflict
+	case errors.Is(err, ErrHashMismatch):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("dist: decoding request: %w", err)
+	}
+	return nil
+}
+
+func distJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func distError(w http.ResponseWriter, code int, err error) {
+	distJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"jayanti98/internal/jobs"
+	"jayanti98/internal/obs"
+)
+
+func newProtocolServer(t *testing.T, c *Coordinator) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	c.RegisterRoutes(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func startWorker(t *testing.T, ctx context.Context, opts WorkerOptions) *sync.WaitGroup {
+	t.Helper()
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
+	if opts.BackoffBase == 0 {
+		opts.BackoffBase = 2 * time.Millisecond
+	}
+	if opts.BackoffMax == 0 {
+		opts.BackoffMax = 20 * time.Millisecond
+	}
+	w, err := NewWorker(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := w.Run(ctx); err != nil {
+			t.Errorf("worker %s: %v", w.ID(), err)
+		}
+	}()
+	return &wg
+}
+
+// TestWorkerEndToEnd is the in-process version of the dist smoke test:
+// a coordinator behind a real HTTP server, two polling workers, one
+// distributed job — the merged result must equal the serial run.
+func TestWorkerEndToEnd(t *testing.T) {
+	c := newTestCoordinator(Options{LeaseTTL: 200 * time.Millisecond, MaxShards: 4})
+	srv := newProtocolServer(t, c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, id := range []string{"wA", "wB"} {
+		wg := startWorker(t, ctx, WorkerOptions{Server: srv.URL, ID: id, Parallel: 1})
+		defer wg.Wait()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.ActiveWorkers() < 2 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("workers never polled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	spec := testSpec(t)
+	serial := serialResult(t, spec)
+	runCtx, runCancel := context.WithTimeout(ctx, 30*time.Second)
+	defer runCancel()
+	payload, handled, err := c.Run(runCtx, "job1", spec, jobs.NewProgress())
+	if !handled || err != nil {
+		t.Fatalf("Run = (handled=%v, err=%v)", handled, err)
+	}
+	if !bytes.Equal(payload, serial) {
+		t.Fatalf("distributed result differs from serial\nserial: %s\ndist:   %s", serial, payload)
+	}
+	cancel()
+}
+
+// TestWorkerRetryBudget: a worker pointed at a dead coordinator gives up
+// after MaxRetries consecutive poll failures instead of spinning forever.
+func TestWorkerRetryBudget(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close() // now every poll fails at the transport
+
+	w, err := NewWorker(WorkerOptions{
+		Server: url, ID: "w1", MaxRetries: 2,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		Obs: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("worker returned nil against a dead coordinator")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never exhausted its retry budget")
+	}
+}
+
+func TestWorkerCleanShutdown(t *testing.T) {
+	c := newTestCoordinator(Options{LeaseTTL: time.Second})
+	srv := newProtocolServer(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	wg := startWorker(t, ctx, WorkerOptions{Server: srv.URL, ID: "w1"})
+	deadline := time.Now().Add(10 * time.Second)
+	for c.ActiveWorkers() < 1 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("worker never polled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait() // startWorker's goroutine t.Errorf's on a non-nil Run error
+}
+
+func TestWorkerValidation(t *testing.T) {
+	if _, err := NewWorker(WorkerOptions{}); err == nil {
+		t.Fatal("NewWorker accepted an empty server URL")
+	}
+	w, err := NewWorker(WorkerOptions{Server: "http://x", Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ID() == "" {
+		t.Fatal("default worker ID empty")
+	}
+	if w.opts.MaxRetries != 8 || w.opts.BackoffBase != 100*time.Millisecond || w.opts.BackoffMax != 5*time.Second {
+		t.Fatalf("defaults = %+v", w.opts)
+	}
+}
+
+// TestProtocolHTTPStatusCodes exercises the wire layer directly: the
+// verdict-to-status mapping workers key their retry/abandon decisions on.
+func TestProtocolHTTPStatusCodes(t *testing.T) {
+	c := newTestCoordinator(Options{LeaseTTL: time.Minute, MaxShards: 1})
+	srv := newProtocolServer(t, c)
+	client := srv.Client()
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := client.Post(srv.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// No work: 204. Malformed body / missing worker: 400.
+	if resp := post("/v1/shards/lease", `{"worker":"w1"}`); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("idle lease: %d, want 204", resp.StatusCode)
+	}
+	if resp := post("/v1/shards/lease", `{"worker":`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: %d, want 400", resp.StatusCode)
+	}
+	if resp := post("/v1/shards/lease", `{}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("nameless lease: %d, want 400", resp.StatusCode)
+	}
+	// Traffic for shards nobody tracks: 404 (result) and 404 (heartbeat).
+	if resp := post("/v1/shards/nope.0/result", `{"worker":"w1","lease":1,"hash":"x","payload":{}}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown shard result: %d, want 404", resp.StatusCode)
+	}
+	if resp := post("/v1/shards/nope.0/heartbeat", `{"worker":"w1","lease":1}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown shard heartbeat: %d, want 404", resp.StatusCode)
+	}
+
+	// Register a job so a real lease flows, then drive the verdicts.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := runJob(c, ctx, "job1", testSpec(t))
+	var grant LeaseResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for grant.ShardID == "" {
+		if !time.Now().Before(deadline) {
+			t.Fatal("no grant over HTTP")
+		}
+		resp := post("/v1/shards/lease", `{"worker":"w1"}`)
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&grant); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	payload, err := ExecuteShard(ctx, grant.Spec, grant.Range, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(ResultRequest{Worker: "w1", Lease: grant.Lease, Hash: "bogus", Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := post("/v1/shards/"+grant.ShardID+"/result", string(raw)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hash mismatch: %d, want 400", resp.StatusCode)
+	}
+	raw, err = json.Marshal(ResultRequest{Worker: "w1", Lease: grant.Lease + 99, Hash: HashPayload(payload), Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := post("/v1/shards/"+grant.ShardID+"/result", string(raw)); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale lease: %d, want 409", resp.StatusCode)
+	}
+
+	// The ledger snapshot shows the in-flight job.
+	resp, err := client.Get(srv.URL + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Jobs) != 1 || st.Jobs[0].ID != "job1" || st.Jobs[0].Leased != 1 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+	cancel()
+	<-done
+}

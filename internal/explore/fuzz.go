@@ -18,6 +18,13 @@ type FuzzOptions struct {
 	// with sweep.Derive(Seed, i), so each sample reproduces in isolation
 	// at every worker count.
 	Seed int64
+	// Offset shifts the campaign's sample indices: the run covers samples
+	// Offset … Offset+Samples-1 of the Seed's stream. A campaign split
+	// into contiguous [offset, offset+count) slices therefore runs
+	// exactly the samples — and derives exactly the seeds — of the
+	// unsplit campaign, which is what lets internal/dist shard a fuzz job
+	// across processes without perturbing a single coin toss.
+	Offset int
 	// Workers bounds the worker goroutines (sweep.Workers semantics).
 	Workers int
 	// OutDir, when non-empty, receives one JSON replay file per failing
@@ -76,7 +83,11 @@ func FuzzCtx(ctx context.Context, cfg Config, opt FuzzOptions) (*FuzzReport, err
 		steps  int
 		replay *Replay
 	}
-	results, err := sweep.MapCtx(ctx, opt.Workers, opt.Samples, func(i int) (sampleResult, error) {
+	if opt.Offset < 0 {
+		return nil, fmt.Errorf("explore: fuzz sample offset %d negative", opt.Offset)
+	}
+	results, err := sweep.MapCtx(ctx, opt.Workers, opt.Samples, func(item int) (sampleResult, error) {
+		i := opt.Offset + item // global sample index in the Seed's stream
 		seed := sweep.Derive(opt.Seed, i)
 		rec, err := fuzzOne(cfg, seed, tossRange)
 		if err != nil {
@@ -130,7 +141,7 @@ func FuzzCtx(ctx context.Context, cfg Config, opt FuzzOptions) (*FuzzReport, err
 		rep.Failures = append(rep.Failures, sr.replay)
 		path := ""
 		if opt.OutDir != "" {
-			path = filepath.Join(opt.OutDir, fmt.Sprintf("fail-%s-%s-n%d-sample%d.json", cfg.Alg, cfg.Object, cfg.N, i))
+			path = filepath.Join(opt.OutDir, fmt.Sprintf("fail-%s-%s-n%d-sample%d.json", cfg.Alg, cfg.Object, cfg.N, opt.Offset+i))
 			if err := WriteReplay(path, sr.replay); err != nil {
 				return nil, err
 			}

@@ -1,0 +1,88 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// fakeRunner scripts the distributed runner's answer.
+type fakeRunner struct {
+	result  []byte
+	handled bool
+	err     error
+	calls   int
+}
+
+func (f *fakeRunner) Run(ctx context.Context, id string, spec *Spec, p *Progress) ([]byte, bool, error) {
+	f.calls++
+	return f.result, f.handled, f.err
+}
+
+// TestSchedulerOffersJobsToDistRunner: a handling runner's bytes are the
+// job result; the local executor never runs.
+func TestSchedulerOffersJobsToDistRunner(t *testing.T) {
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		t.Error("local executor ran despite the dist runner handling the job")
+		return nil, errors.New("unreachable")
+	})
+	distributed := []byte(`{"from":"fleet"}`)
+	fr := &fakeRunner{result: distributed, handled: true}
+	s := newTestScheduler(t, Options{Workers: 1, Dist: fr})
+
+	view, _, err := s.Submit(&Spec{Kind: KindExplore, Explore: &ExploreSpec{Mode: "fuzz"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitStatus(t, s, view.ID, StatusDone)
+	if !bytes.Equal(final.Result, distributed) {
+		t.Fatalf("result = %s, want the dist runner's payload", final.Result)
+	}
+	if fr.calls != 1 {
+		t.Fatalf("dist runner consulted %d times, want 1", fr.calls)
+	}
+}
+
+// TestSchedulerFallsBackWhenDistDeclines: handled=false routes the job to
+// the local executor.
+func TestSchedulerFallsBackWhenDistDeclines(t *testing.T) {
+	local := []byte(`{"from":"local"}`)
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		return local, nil
+	})
+	fr := &fakeRunner{handled: false}
+	s := newTestScheduler(t, Options{Workers: 1, Dist: fr})
+
+	view, _, err := s.Submit(&Spec{Kind: KindExplore, Explore: &ExploreSpec{Mode: "fuzz"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitStatus(t, s, view.ID, StatusDone)
+	if !bytes.Equal(final.Result, local) {
+		t.Fatalf("result = %s, want the local payload", final.Result)
+	}
+	if fr.calls != 1 {
+		t.Fatalf("dist runner consulted %d times, want 1", fr.calls)
+	}
+}
+
+// TestSchedulerPropagatesDistError: a handling runner's error fails the
+// job like a local error would.
+func TestSchedulerPropagatesDistError(t *testing.T) {
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		t.Error("local executor ran for a handled-with-error job")
+		return nil, nil
+	})
+	fr := &fakeRunner{handled: true, err: errors.New("fleet exploded")}
+	s := newTestScheduler(t, Options{Workers: 1, Dist: fr})
+
+	view, _, err := s.Submit(&Spec{Kind: KindExplore, Explore: &ExploreSpec{Mode: "fuzz"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitStatus(t, s, view.ID, StatusFailed)
+	if final.Error == "" {
+		t.Fatal("failed job carries no error")
+	}
+}

@@ -10,8 +10,9 @@ import (
 // NewHandler builds the service's HTTP API over a scheduler:
 //
 //	POST   /v1/jobs             submit a Spec; idempotent on the content hash
+//	GET    /v1/jobs             list tracked jobs; ?status= filters by state
 //	GET    /v1/jobs/{id}        status, progress, and (when done) the result
-//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	DELETE /v1/jobs/{id}        cancel a queued or running job (409 when already terminal)
 //	GET    /v1/jobs/{id}/events NDJSON progress stream until terminal
 //	GET    /v1/cache/stats      result-cache counters
 //	GET    /healthz             liveness
@@ -52,6 +53,35 @@ func NewHandler(s *Scheduler) *http.ServeMux {
 		writeJSON(w, code, view)
 	})
 
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		views := s.List()
+		if q := r.URL.Query().Get("status"); q != "" {
+			want := Status(q)
+			switch want {
+			case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled:
+			default:
+				httpError(w, http.StatusBadRequest, fmt.Errorf("unknown status %q", q))
+				return
+			}
+			kept := views[:0]
+			for _, v := range views {
+				if v.Status == want {
+					kept = append(kept, v)
+				}
+			}
+			views = kept
+		}
+		// The result payloads stay out of the listing — a few sweep jobs
+		// would otherwise make it megabytes; fetch a job by ID for its
+		// result.
+		for i := range views {
+			views[i].Result = nil
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []JobView `json:"jobs"`
+		}{views})
+	})
+
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		view, ok := s.Get(r.PathValue("id"))
 		if !ok {
@@ -63,11 +93,20 @@ func NewHandler(s *Scheduler) *http.ServeMux {
 
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		if !s.Cancel(id) {
+		view, ok := s.Get(id)
+		if !ok {
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 			return
 		}
-		view, _ := s.Get(id)
+		// Cancelling a finished job is a conflict, not a not-found: the
+		// caller's mental model ("this job is still running") is stale, so
+		// answer 409 and include the final view to correct it.
+		if view.Status.Terminal() {
+			writeJSON(w, http.StatusConflict, view)
+			return
+		}
+		s.Cancel(id)
+		view, _ = s.Get(id)
 		writeJSON(w, http.StatusOK, view)
 	})
 

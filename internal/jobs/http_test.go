@@ -221,6 +221,124 @@ func TestHTTPCancelJob(t *testing.T) {
 	}
 }
 
+func TestHTTPListJobs(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 2})
+
+	// Before any submission the listing is present but empty.
+	resp, body := doJSON(t, http.MethodGet, srv.URL+"/v1/jobs", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs: %d %s", resp.StatusCode, body)
+	}
+	var listing struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatalf("decoding listing: %v (%s)", err, body)
+	}
+	if listing.Jobs == nil || len(listing.Jobs) != 0 {
+		t.Fatalf("empty listing = %s, want {\"jobs\":[]}", body)
+	}
+
+	// Two distinct jobs; wait until both are terminal.
+	ids := make([]string, 0, 2)
+	for _, alg := range []string{"central", "herlihy"} {
+		spec := fmt.Sprintf(`{"kind":"explore","explore":{"alg":%q,"mode":"exhaustive"}}`, alg)
+		resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", spec)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST: %d %s", resp.StatusCode, body)
+		}
+		var view JobView
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, view.ID)
+	}
+	for _, id := range ids {
+		if done := pollDone(t, srv.URL, id); done.Status != StatusDone {
+			t.Fatalf("job %s ended %s", id, done.Status)
+		}
+	}
+
+	resp, body = doJSON(t, http.MethodGet, srv.URL+"/v1/jobs", "")
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(listing.Jobs) != 2 {
+		t.Fatalf("listing after 2 jobs: %d %s", resp.StatusCode, body)
+	}
+	// Oldest submission first, results elided.
+	if listing.Jobs[0].ID != ids[0] && listing.Jobs[0].Created.After(listing.Jobs[1].Created) {
+		t.Fatalf("listing out of order: %s", body)
+	}
+	for _, v := range listing.Jobs {
+		if len(v.Result) != 0 {
+			t.Fatalf("listing embeds a result payload: %s", body)
+		}
+		if v.Status != StatusDone {
+			t.Fatalf("job %s listed as %s, want done", v.ID, v.Status)
+		}
+	}
+
+	// Status filtering: done matches both, queued matches none.
+	resp, body = doJSON(t, http.MethodGet, srv.URL+"/v1/jobs?status=done", "")
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(listing.Jobs) != 2 {
+		t.Fatalf("?status=done: %d %s", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, http.MethodGet, srv.URL+"/v1/jobs?status=queued", "")
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(listing.Jobs) != 0 {
+		t.Fatalf("?status=queued: %d %s", resp.StatusCode, body)
+	}
+
+	// An unknown status value is a client error, not an empty result.
+	resp, body = doJSON(t, http.MethodGet, srv.URL+"/v1/jobs?status=exploded", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?status=exploded: %d %s, want 400", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPDeleteTerminalJobConflicts(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1})
+
+	spec := `{"kind":"explore","explore":{"alg":"central","mode":"exhaustive"}}`
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	done := pollDone(t, srv.URL, view.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job ended %s", done.Status)
+	}
+
+	// DELETE on the finished job: 409, and the body is the final view so
+	// the caller learns the true state in one round trip.
+	resp, body = doJSON(t, http.MethodDelete, srv.URL+"/v1/jobs/"+view.ID, "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE terminal: %d %s, want 409", resp.StatusCode, body)
+	}
+	var final JobView
+	if err := json.Unmarshal(body, &final); err != nil {
+		t.Fatalf("409 body is not a job view: %v (%s)", err, body)
+	}
+	if final.ID != view.ID || final.Status != StatusDone || len(final.Result) == 0 {
+		t.Fatalf("409 view = %s", body)
+	}
+
+	// The conflict must not have disturbed the job.
+	if again := pollDone(t, srv.URL, view.ID); again.Status != StatusDone {
+		t.Fatalf("job flipped to %s after conflicting DELETE", again.Status)
+	}
+}
+
 func TestHTTPErrorPaths(t *testing.T) {
 	_, srv := newTestServer(t, Options{Workers: 1})
 

@@ -67,6 +67,19 @@ type ExploreResult struct {
 	Failures []ExploreFailure `json:"failures"`
 }
 
+// Execute normalizes and validates spec, then runs it in-process and
+// returns its result bytes — the same bytes the scheduler would compute
+// and cache for the spec. It is the reference implementation the
+// distributed path (internal/dist) must be byte-identical to: the
+// shard-merge property tests compare against it.
+func Execute(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return runSpec(ctx, spec, p, parallel)
+}
+
 // runSpec executes a normalized, validated spec and returns its result as
 // canonical JSON bytes. The bytes are a pure function of the spec — the
 // caching contract — so nothing time-, host-, or parallelism-dependent
@@ -119,15 +132,9 @@ func runSweep(ctx context.Context, spec *SweepSpec, p *Progress, parallel int) (
 	if err != nil {
 		return nil, err
 	}
-	var ns []int
-	for n := 2; n <= spec.MaxN; n *= 2 {
-		ns = append(ns, n)
-	}
-	constructions := spec.Constructions
-	if len(constructions) == 0 {
-		constructions = universal.Names()
-	}
-	res := &SweepResult{Type: spec.Type, Ns: ns}
+	ns := spec.Ns()
+	constructions := spec.ConstructionNames()
+	flat := make([]lowerbound.ConstructionResult, 0, len(constructions)*len(ns))
 	for i, name := range constructions {
 		name := name
 		p.Set(name, i, len(constructions))
@@ -137,13 +144,39 @@ func runSweep(ctx context.Context, spec *SweepSpec, p *Progress, parallel int) (
 		mk := func(n int) universal.Construction {
 			return universal.Must(universal.New(name, st.New(n), n, 0))
 		}
-		results, growth, err := lowerbound.SweepConstructionCtx(sctx, mk, st.Op, ns, parallel)
+		results, _, err := lowerbound.SweepConstructionCtx(sctx, mk, st.Op, ns, parallel)
 		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
+		flat = append(flat, results...)
+		p.Set(name, i+1, len(constructions))
+	}
+	return BuildSweepResult(spec, flat)
+}
+
+// BuildSweepResult assembles the KindSweep payload from the flat,
+// coordinate-ordered measurement slice (construction-major, n-minor —
+// the order runSweep produces and internal/dist's index-ordered shard
+// merge reconstructs). Each measurement is a pure function of its
+// (construction, n) coordinate, so any partition of the grid feeds this
+// function identical inputs and the payload is byte-identical no matter
+// where the shard boundaries fell.
+func BuildSweepResult(spec *SweepSpec, flat []lowerbound.ConstructionResult) (*SweepResult, error) {
+	ns := spec.Ns()
+	constructions := spec.ConstructionNames()
+	if want := len(constructions) * len(ns); len(flat) != want {
+		return nil, fmt.Errorf("jobs: sweep has %d results, want %d (%d constructions × %d ns)",
+			len(flat), want, len(constructions), len(ns))
+	}
+	res := &SweepResult{Type: spec.Type, Ns: ns}
+	for i, name := range constructions {
+		results := flat[i*len(ns) : (i+1)*len(ns)]
 		tbl := report.NewTable("n", "forced steps/op", "documented bound", "Ω ⌈log₄ n⌉")
 		for _, r := range results {
+			if r.Construction != name {
+				return nil, fmt.Errorf("jobs: sweep result %q at coordinates of %q", r.Construction, name)
+			}
 			bound := "not wait-free"
 			if r.StepBound > 0 {
 				bound = fmt.Sprintf("%d", r.StepBound)
@@ -152,11 +185,10 @@ func runSweep(ctx context.Context, spec *SweepSpec, p *Progress, parallel int) (
 		}
 		res.Constructions = append(res.Constructions, ConstructionSweep{
 			Construction: name,
-			Growth:       string(growth),
+			Growth:       string(lowerbound.ConstructionGrowth(ns, results)),
 			Results:      results,
 			Table:        tbl,
 		})
-		p.Set(name, i+1, len(constructions))
 	}
 	return res, nil
 }
@@ -203,21 +235,45 @@ func runExplore(ctx context.Context, spec *ExploreSpec, p *Progress, parallel in
 		if err != nil {
 			return nil, err
 		}
-		res.Budget = cfg.Budget
-		res.Samples = rep.Samples
-		res.TotalSteps = rep.TotalSteps
+		failures := make([]ExploreFailure, 0, len(rep.Failures))
 		for _, f := range rep.Failures {
-			res.Failures = append(res.Failures, ExploreFailure{
-				Kind:        string(f.Kind),
-				Detail:      f.Detail,
-				Schedule:    f.Schedule,
-				OriginalLen: f.OriginalLen,
-				Seed:        f.Seed,
-			})
+			failures = append(failures, NewExploreFailure(f))
 		}
+		res = BuildFuzzResult(spec, rep.TotalSteps, failures)
 		p.Set("fuzz", 1, 1)
 	default:
 		return nil, fmt.Errorf("jobs: explore mode %q", spec.Mode)
 	}
 	return res, nil
+}
+
+// NewExploreFailure converts a schedule-search counterexample to its wire
+// form (the replay's events are dropped; the schedule plus seed suffice to
+// reproduce it).
+func NewExploreFailure(f *explore.Replay) ExploreFailure {
+	return ExploreFailure{
+		Kind:        string(f.Kind),
+		Detail:      f.Detail,
+		Schedule:    f.Schedule,
+		OriginalLen: f.OriginalLen,
+		Seed:        f.Seed,
+	}
+}
+
+// BuildFuzzResult assembles the KindExplore payload of a fuzz campaign
+// from its sample-ordered failures and summed step count. Sample i always
+// derives its private seed with sweep.Derive(Seed, i) regardless of which
+// process ran it, so concatenating per-shard failures in sample order
+// (internal/dist) reproduces the serial payload byte-for-byte.
+func BuildFuzzResult(spec *ExploreSpec, totalSteps int, failures []ExploreFailure) *ExploreResult {
+	if failures == nil {
+		failures = []ExploreFailure{}
+	}
+	return &ExploreResult{
+		Mode:       spec.Mode,
+		Budget:     spec.Budget,
+		Samples:    spec.Samples,
+		TotalSteps: totalSteps,
+		Failures:   failures,
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,6 +40,19 @@ var ErrQueueFull = errors.New("jobs: queue full")
 // ErrShuttingDown is returned by Submit after Shutdown has begun.
 var ErrShuttingDown = errors.New("jobs: scheduler shutting down")
 
+// Runner executes a spec somewhere other than the local worker pool —
+// internal/dist's coordinator implements it to fan a shardable spec out
+// over a fleet of lbworker processes. Run returns handled=false to
+// decline the spec (not shardable, or no workers registered); the
+// scheduler then executes it locally, so a missing or idle fleet never
+// changes a result, only where it is computed. When handled is true the
+// returned bytes (or error) are the job's outcome, and the determinism
+// contract requires them to be byte-identical to the local execution of
+// the same spec.
+type Runner interface {
+	Run(ctx context.Context, id string, spec *Spec, p *Progress) (result []byte, handled bool, err error)
+}
+
 // Options configures a Scheduler.
 type Options struct {
 	// Workers is the number of jobs run concurrently (≤ 0: 2).
@@ -55,6 +69,11 @@ type Options struct {
 	SweepParallel int
 	// Cache is the result cache (nil: a fresh memory-only cache).
 	Cache *Cache
+	// Dist, when non-nil, is offered every job before local execution
+	// (see Runner). Like SweepParallel it is an execution knob, not part
+	// of job identity: distribution may move the computation, never
+	// change its bytes.
+	Dist Runner
 	// Obs is the metrics registry the scheduler instruments itself on
 	// (nil: the process obs.Default registry). Counters are cumulative
 	// across schedulers sharing a registry; the queue/running/cache
@@ -326,6 +345,28 @@ func (s *Scheduler) jobLogger(id, kind string) *slog.Logger {
 	return s.logger.With("job_id", obs.ShortID(id), "kind", kind)
 }
 
+// List snapshots every tracked job, oldest submission first (ties broken
+// by ID so the order is deterministic).
+func (s *Scheduler) List() []JobView {
+	s.mu.Lock()
+	tracked := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		tracked = append(tracked, j)
+	}
+	s.mu.Unlock()
+	views := make([]JobView, 0, len(tracked))
+	for _, j := range tracked {
+		views = append(views, j.snapshot())
+	}
+	sort.Slice(views, func(i, k int) bool {
+		if !views[i].Created.Equal(views[k].Created) {
+			return views[i].Created.Before(views[k].Created)
+		}
+		return views[i].ID < views[k].ID
+	})
+	return views
+}
+
 // Get returns a snapshot of the job with the given ID.
 func (s *Scheduler) Get(id string) (JobView, bool) {
 	s.mu.Lock()
@@ -593,13 +634,22 @@ func (s *Scheduler) runJob(j *job) {
 var runSpecFn = runSpec
 
 // runIsolated runs the spec with panics converted to errors, so one
-// crashing job cannot take down the worker pool.
+// crashing job cannot take down the worker pool. A distributed runner,
+// when configured, gets first refusal; a declined spec falls through to
+// the local path.
 func (s *Scheduler) runIsolated(ctx context.Context, j *job) (result []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("jobs: job panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
+	if s.opts.Dist != nil {
+		result, handled, err := s.opts.Dist.Run(ctx, j.id, j.spec, j.progress)
+		if handled {
+			return result, err
+		}
+		obs.Logger(ctx).Debug("distributed runner declined; executing locally")
+	}
 	return runSpecFn(ctx, j.spec, j.progress, s.opts.SweepParallel)
 }
 

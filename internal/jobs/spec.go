@@ -72,6 +72,28 @@ type SweepSpec struct {
 	MaxN int `json:"maxN,omitempty"`
 }
 
+// Ns returns the sweep's process counts: doubling from 2 up to MaxN.
+// The slice is the coordinate axis shared by serial execution
+// (runSweep), the distributed shard partitioner (internal/dist), and
+// result assembly (BuildSweepResult); all three must agree on it.
+func (s *SweepSpec) Ns() []int {
+	var ns []int
+	for n := 2; n <= s.MaxN; n *= 2 {
+		ns = append(ns, n)
+	}
+	return ns
+}
+
+// ConstructionNames resolves the construction axis of the sweep: the
+// selected names, or every registered construction (universal.Names()
+// order) when the selection is empty. The spec must be normalized.
+func (s *SweepSpec) ConstructionNames() []string {
+	if len(s.Constructions) > 0 {
+		return s.Constructions
+	}
+	return universal.Names()
+}
+
 // ExploreSpec searches the schedule space of one construction
 // (cmd/explore as a job).
 type ExploreSpec struct {

@@ -424,15 +424,26 @@ func SweepConstructionCtx(ctx context.Context, mk func(n int) universal.Construc
 	if err != nil {
 		return out, "", err
 	}
-	ys := make([]float64, 0, len(ns))
-	for _, r := range out {
+	return out, ConstructionGrowth(ns, out), nil
+}
+
+// ConstructionGrowth classifies how a construction's forced per-op cost
+// grows across the sweep's process counts (empty with fewer than three
+// points — no fit is meaningful). It is shared by the in-process sweep
+// above and the distributed shard merge (internal/dist), which re-derives
+// the classification from the index-ordered shard results; both paths
+// must see the same function so a distributed sweep stays byte-identical
+// to a serial one.
+func ConstructionGrowth(ns []int, results []ConstructionResult) stats.Growth {
+	if len(ns) < 3 {
+		return ""
+	}
+	ys := make([]float64, 0, len(results))
+	for _, r := range results {
 		ys = append(ys, float64(r.MaxSteps))
 	}
-	growth := stats.Growth("")
-	if len(ns) >= 3 {
-		growth, _, _ = stats.ClassifyGrowth(ns, ys)
-	}
-	return out, growth, nil
+	growth, _, _ := stats.ClassifyGrowth(ns, ys)
+	return growth
 }
 
 // FetchIncOp is the op generator for fetch&increment sweeps.
