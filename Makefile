@@ -14,7 +14,15 @@ COVER_MIN ?= 88
 # CI passes GITHUB_SHA; local runs fall back to git, then to "local".
 BENCH_SHA ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo local)
 
-.PHONY: build vet test race check smoke serve-smoke dist-smoke bench bench-json profile report mutation cover fuzz-short explore-smoke ci
+# Benchmarks the bench-compare gate runs: the register-file and
+# exploration hot paths this codebase optimizes for, kept quick enough
+# for CI. Timing diffs only gate when baseline and current ran on the
+# same CPU model; allocation and paper-level metrics always gate.
+HOTPATH_BENCH ?= E1WakeupForcedSteps|ShmemLLSC|PsetChurn|ValuesEqual|MaxSteps|LLSCFingerprint|ExhaustiveExplore
+# Committed baseline artifact to diff against (first BENCH_*.json here).
+BENCH_BASELINE ?= $(firstword $(wildcard BENCH_*.json))
+
+.PHONY: build vet test race check smoke serve-smoke dist-smoke bench bench-json bench-compare profile report mutation cover fuzz-short explore-smoke ci
 
 build:
 	$(GO) build ./...
@@ -56,6 +64,14 @@ bench-json:
 	$(GO) test -run=^$$ -bench=. -benchmem -count=3 . | $(GO) run ./scripts -o BENCH_$(BENCH_SHA).json
 	@echo "wrote BENCH_$(BENCH_SHA).json"
 
+# Hot-path regression gate: rerun the hot-path benchmarks and diff them
+# against the committed baseline with per-metric-class tolerances
+# (scripts/bench_compare.go). Fails on regressions past tolerance.
+bench-compare:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-compare: no committed BENCH_*.json baseline found"; exit 1; }
+	@echo "comparing against $(BENCH_BASELINE)"
+	$(GO) test -run=^$$ -bench='$(HOTPATH_BENCH)' -benchmem -count=3 . | $(GO) run ./scripts -compare $(BENCH_BASELINE)
+
 # Quick CPU-hotspot report: profile a quick lbreport run and print the
 # top-10 flat consumers. The profile stays in /tmp for deeper digging
 # (`go tool pprof /tmp/lbreport.cpu.pprof`); the live server exposes the
@@ -90,6 +106,7 @@ fuzz-short:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzLemma51AndDeterminism$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzIndistinguishability$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzUPMonotone$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/shmem/ -run '^$$' -fuzz '^FuzzRegStateEqual$$' -fuzztime $(FUZZTIME)
 
 # Exhaustive schedule exploration of every construction at small n.
 explore-smoke:

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"jayanti98/internal/core"
+	"jayanti98/internal/explore"
 	"jayanti98/internal/linz"
 	"jayanti98/internal/llsc"
 	"jayanti98/internal/lowerbound"
@@ -44,6 +45,10 @@ func BenchmarkE1WakeupForcedSteps(b *testing.B) {
 			}
 			b.ReportMetric(float64(last.WinnerSteps), "winner-steps")
 			b.ReportMetric(float64(last.Bound), "log4n-bound")
+			// Adversary-path throughput: every iteration replays the same
+			// deterministic run, so TotalSteps*N over the wall clock is the
+			// shared-access rate the register file sustains.
+			b.ReportMetric(float64(last.TotalSteps)*float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
 		})
 	}
 }
@@ -391,4 +396,108 @@ func BenchmarkLinearizabilityCheck(b *testing.B) {
 			b.Fatalf("check failed: %v %v", err, res)
 		}
 	}
+}
+
+// BenchmarkPsetChurn measures the Pset lifecycle the bitset register file
+// is built around: n processes link a register, then one successful SC
+// clears all n links at once. Run with -benchmem: the warm loop must be
+// allocation-free (the clear zeroes the bitset words in place; the old
+// map representation allocated a fresh map per successful SC).
+func BenchmarkPsetChurn(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := shmem.New()
+			for pid := 0; pid < n; pid++ {
+				m.Apply(pid, shmem.Op{Kind: shmem.OpLL, Reg: 0})
+			}
+			m.Apply(0, shmem.Op{Kind: shmem.OpSC, Reg: 0, Arg: -1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for pid := 0; pid < n; pid++ {
+					m.Apply(pid, shmem.Op{Kind: shmem.OpLL, Reg: 0})
+				}
+				if r := m.Apply(0, shmem.Op{Kind: shmem.OpSC, Reg: 0, Arg: i}); !r.OK {
+					b.Fatal("SC by a linked process must succeed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkValuesEqual measures the register-value comparison across the
+// scalar fast path and the reflect.DeepEqual fallback.
+func BenchmarkValuesEqual(b *testing.B) {
+	pairs := []struct {
+		name string
+		a, v shmem.Value
+	}{
+		{"int", 41, 41},
+		{"int-mismatch", 41, 42},
+		{"string", "wakeup", "wakeup"},
+		{"nil", nil, nil},
+		{"slice-fallback", []int{1, 2}, []int{1, 2}},
+	}
+	for _, p := range pairs {
+		b.Run(p.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				shmem.ValuesEqual(p.a, p.v)
+			}
+		})
+	}
+}
+
+// BenchmarkMaxSteps measures a shared step plus the worst-process query —
+// the pair the adversary executes at every decision point. MaxSteps is
+// maintained incrementally in Apply, so the query itself is O(1).
+func BenchmarkMaxSteps(b *testing.B) {
+	m := shmem.New()
+	for i := 0; i < b.N; i++ {
+		m.Apply(i%16, shmem.Op{Kind: shmem.OpLL, Reg: 0})
+		if steps, pid := m.MaxSteps(); steps == 0 || pid < 0 {
+			b.Fatal("impossible MaxSteps")
+		}
+	}
+}
+
+// BenchmarkLLSCFingerprint measures the concurrent memory's canonical
+// state rendering, which sits on the exploration memoization hot path.
+func BenchmarkLLSCFingerprint(b *testing.B) {
+	const n = 4
+	m := llsc.New(n)
+	for pid := 0; pid < n; pid++ {
+		h := m.Handle(pid)
+		for reg := 0; reg < 8; reg++ {
+			h.LL(reg)
+			if reg%2 == 0 {
+				h.SC(reg, pid*100+reg)
+			}
+		}
+	}
+	var dst []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = m.AppendFingerprint(dst[:0])
+	}
+	if len(dst) == 0 {
+		b.Fatal("empty fingerprint")
+	}
+}
+
+// BenchmarkExhaustiveExplore measures the full DFS over the central
+// construction's n=2 schedule space — the end-to-end exploration hot path
+// (prefix re-execution, binary memo keys, visited-set lookups). The
+// runs/sec metric is the paper-level throughput bench-compare gates on.
+func BenchmarkExhaustiveExplore(b *testing.B) {
+	var runs int
+	for i := 0; i < b.N; i++ {
+		rep, err := explore.Exhaustive(explore.Config{Alg: "central", Object: "fetch-increment", N: 2, OpsPerProc: 1}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.States != 20 || rep.Runs != 27 {
+			b.Fatalf("unexpected counts: states=%d runs=%d", rep.States, rep.Runs)
+		}
+		runs += rep.Runs
+	}
+	b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/sec")
 }

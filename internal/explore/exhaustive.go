@@ -34,6 +34,7 @@ type exhaustiveWorker struct {
 	ctx      context.Context
 	cfg      Config
 	visited  map[string]bool
+	keyBuf   []byte // reused memo-key scratch (appendMemoKey)
 	runs     int
 	complete int
 }
@@ -147,7 +148,8 @@ func (e *exhaustiveWorker) dfs(prefix []int) (*Failure, *RunRecord, error) {
 		}
 		return nil, nil, nil
 	}
-	key := r.memoKey()
+	e.keyBuf = r.appendMemoKey(e.keyBuf[:0])
+	key := string(e.keyBuf)
 	if e.visited[key] {
 		return nil, nil, nil
 	}

@@ -36,6 +36,7 @@
 package explore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -446,21 +447,34 @@ func (r *runner) step(pid int) bool {
 	return true
 }
 
-// memoKey renders the product state for exhaustive pruning: machine
-// history digests (operational local state, Lemma 5.2), the memory
+// appendMemoKey appends the product state for exhaustive pruning to dst:
+// machine history digests (operational local state, Lemma 5.2), the memory
 // fingerprint, and the online checker's config-set key (the real-time
 // linearization residue). Two prefixes with equal keys have identical
 // futures under identical schedule suffixes.
-func (r *runner) memoKey() string {
-	var b strings.Builder
+//
+// The key is compact binary, not a rendered string (DESIGN §11): per
+// machine a one-byte enabled flag, a uvarint event count and the 8-byte
+// FNV-1a history sum; then the memory's self-delimiting binary fingerprint
+// (llsc.Memory.AppendFingerprint); then the length-prefixed checker key.
+// Every component is either fixed-size or length-prefixed, so the
+// concatenation is injective given cfg.N — no separators needed. Callers
+// reuse dst across DFS nodes and convert to string only for the map lookup.
+func (r *runner) appendMemoKey(dst []byte) []byte {
 	for _, m := range r.ms {
-		b.WriteString(m.HistoryKey())
-		b.WriteByte('|')
+		ev, sum, enabled := m.HistoryDigest()
+		if !enabled {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		dst = binary.AppendUvarint(dst, uint64(ev))
+		dst = binary.LittleEndian.AppendUint64(dst, sum)
 	}
-	b.WriteString(r.mem.Fingerprint())
-	b.WriteByte('|')
-	b.WriteString(r.online.Key())
-	return b.String()
+	dst = r.mem.AppendFingerprint(dst)
+	key := r.online.Key()
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	return append(dst, key...)
 }
 
 // history assembles the linz history observed so far; incomplete

@@ -1,0 +1,59 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestExhaustiveGolden pins the exhaustive-search Report counters
+// (States/Runs/Complete) for every construction at n ∈ {2, 3}. The counts
+// were captured before the binary memo-key change (PR 6) and act as the
+// correctness oracle for the memoization key: any representation change
+// that alters the key's discriminating power — collapsing distinct states
+// or splitting equal ones — shifts these counts and fails here, so memo
+// semantics cannot silently drift.
+//
+// The herlihy n = 3 space (~124k runs, seconds of wall clock) is skipped
+// in -short mode; group-update at n = 3 (~985k runs, minutes) stays out of
+// the unit-test budget entirely — its pre-change counts were
+// states=473542 runs=984578 complete=37314, recorded here for anyone
+// re-validating by hand.
+func TestExhaustiveGolden(t *testing.T) {
+	cases := []struct {
+		alg                    string
+		n                      int
+		states, runs, complete int
+		long                   bool
+	}{
+		{alg: "central", n: 2, states: 20, runs: 27, complete: 6},
+		{alg: "central", n: 3, states: 507, runs: 700, complete: 126},
+		{alg: "group-update", n: 2, states: 384, runs: 607, complete: 48},
+		{alg: "herlihy", n: 2, states: 312, runs: 499, complete: 48},
+		{alg: "herlihy", n: 3, states: 59280, runs: 123631, complete: 6417, long: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/n=%d", tc.alg, tc.n), func(t *testing.T) {
+			if tc.long && testing.Short() {
+				t.Skip("long exhaustive case skipped in -short mode")
+			}
+			t.Parallel()
+			workers := 1
+			if tc.long {
+				workers = 4
+			}
+			rep, err := Exhaustive(Config{Alg: tc.alg, Object: "fetch-increment", N: tc.n, OpsPerProc: 1}, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failure != nil {
+				t.Fatalf("unexpected failure: %v", rep.Failure)
+			}
+			t.Logf("%s n=%d: states=%d runs=%d complete=%d", tc.alg, tc.n, rep.States, rep.Runs, rep.Complete)
+			if rep.States != tc.states || rep.Runs != tc.runs || rep.Complete != tc.complete {
+				t.Errorf("got (states=%d runs=%d complete=%d), want (states=%d runs=%d complete=%d)",
+					rep.States, rep.Runs, rep.Complete, tc.states, tc.runs, tc.complete)
+			}
+		})
+	}
+}

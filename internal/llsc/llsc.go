@@ -17,6 +17,7 @@
 package llsc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,7 +29,7 @@ import (
 
 type register struct {
 	val  shmem.Value
-	pset map[int]struct{}
+	pset shmem.PidBits
 }
 
 // Memory is a concurrent shared memory for n processes. All methods are
@@ -38,10 +39,16 @@ type Memory struct {
 	mu sync.Mutex
 	// regs is the lazily allocated unbounded register file.
 	regs map[int]*register
+	// touched holds the allocated register indices in increasing order,
+	// maintained on first touch so fingerprinting never sorts.
+	touched []int
 	// steps counts shared accesses per pid.
 	steps map[int]int64
 	// initVal optionally initializes registers on first touch.
 	initVal func(reg int) shmem.Value
+	// fpScratch is the reused value-rendering buffer of AppendFingerprint,
+	// guarded by mu like everything else.
+	fpScratch []byte
 }
 
 // Option configures a Memory.
@@ -72,11 +79,15 @@ func (m *Memory) N() int { return m.n }
 func (m *Memory) reg(i int) *register {
 	r, ok := m.regs[i]
 	if !ok {
-		r = &register{pset: make(map[int]struct{})}
+		r = &register{}
 		if m.initVal != nil {
 			r.val = m.initVal(i)
 		}
 		m.regs[i] = r
+		at := sort.SearchInts(m.touched, i)
+		m.touched = append(m.touched, 0)
+		copy(m.touched[at+1:], m.touched[at:])
+		m.touched[at] = i
 	}
 	return r
 }
@@ -145,31 +156,54 @@ func (m *Memory) Apply(pid int, op shmem.Op) shmem.Response {
 func (m *Memory) Fingerprint() string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	idx := make([]int, 0, len(m.regs))
-	for i := range m.regs {
-		idx = append(idx, i)
-	}
-	sort.Ints(idx)
 	var b strings.Builder
-	for _, i := range idx {
+	for _, i := range m.touched {
 		r := m.regs[i]
-		ps := make([]int, 0, len(r.pset))
-		for p := range r.pset {
-			ps = append(ps, p)
-		}
-		sort.Ints(ps)
-		fmt.Fprintf(&b, "R%d=%v pset=%v;", i, r.val, ps)
+		fmt.Fprintf(&b, "R%d=%v pset=%v;", i, r.val, r.pset.Sorted())
 	}
 	return b.String()
 }
 
+// AppendFingerprint appends a compact binary rendering of the same state
+// Fingerprint describes: a uvarint register count, then per touched
+// register (in increasing order) a uvarint index, the length-prefixed %v
+// rendering of the value, and the canonical Pset bitset words
+// (shmem.PidBits.AppendBinary). The register count prefix makes the block
+// self-delimiting, so callers can concatenate it with other key material
+// without separators. The exploration harness builds its memoization keys
+// this way (DESIGN §11); it replaced the sort-per-call string Fingerprint
+// on that path.
+func (m *Memory) AppendFingerprint(dst []byte) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dst = binary.AppendUvarint(dst, uint64(len(m.touched)))
+	for _, i := range m.touched {
+		r := m.regs[i]
+		dst = binary.AppendUvarint(dst, uint64(i))
+		m.fpScratch = fmt.Appendf(m.fpScratch[:0], "%v", r.val)
+		dst = binary.AppendUvarint(dst, uint64(len(m.fpScratch)))
+		dst = append(dst, m.fpScratch...)
+		dst = r.pset.AppendBinary(dst)
+	}
+	return dst
+}
+
 // ReadQuiesced returns the value of register i without charging a step.
 // It is intended for inspection after the concurrent workload has
-// quiesced; it still takes the lock, so it is safe at any time.
+// quiesced; it still takes the lock, so it is safe at any time. Reading
+// an untouched register returns its initial value without allocating it,
+// so the fingerprint is unchanged (until PR 6 this routed through the
+// lazily-allocating register lookup and perturbed it).
 func (m *Memory) ReadQuiesced(i int) shmem.Value {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.reg(i).val
+	if r, ok := m.regs[i]; ok {
+		return r.val
+	}
+	if m.initVal != nil {
+		return m.initVal(i)
+	}
+	return nil
 }
 
 // Handle is one process's port to the memory. It implements machine.Port.
@@ -193,7 +227,7 @@ func (h *Handle) LL(reg int) shmem.Value {
 	defer m.mu.Unlock()
 	m.steps[h.pid]++
 	r := m.reg(reg)
-	r.pset[h.pid] = struct{}{}
+	r.pset.Add(h.pid)
 	return r.val
 }
 
@@ -205,9 +239,9 @@ func (h *Handle) SC(reg int, v shmem.Value) (bool, shmem.Value) {
 	m.steps[h.pid]++
 	r := m.reg(reg)
 	prev := r.val
-	if _, linked := r.pset[h.pid]; linked {
+	if r.pset.Contains(h.pid) {
 		r.val = v
-		r.pset = make(map[int]struct{})
+		r.pset.Clear()
 		return true, prev
 	}
 	return false, prev
@@ -220,8 +254,7 @@ func (h *Handle) Validate(reg int) (bool, shmem.Value) {
 	defer m.mu.Unlock()
 	m.steps[h.pid]++
 	r := m.reg(reg)
-	_, linked := r.pset[h.pid]
-	return linked, r.val
+	return r.pset.Contains(h.pid), r.val
 }
 
 // Read implements machine.Port (a validate with the boolean dropped).
@@ -239,7 +272,7 @@ func (h *Handle) Swap(reg int, v shmem.Value) shmem.Value {
 	r := m.reg(reg)
 	prev := r.val
 	r.val = v
-	r.pset = make(map[int]struct{})
+	r.pset.Clear()
 	return prev
 }
 
@@ -256,5 +289,5 @@ func (h *Handle) Move(src, dst int) {
 	s := m.reg(src)
 	d := m.reg(dst)
 	d.val = s.val
-	d.pset = make(map[int]struct{})
+	d.pset.Clear()
 }

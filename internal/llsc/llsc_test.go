@@ -204,3 +204,101 @@ func TestConcurrentStepBoundHolds(t *testing.T) {
 		t.Fatalf("an invocation used %d steps, above the bound %d", e, obj.StepBound())
 	}
 }
+
+// TestReadQuiescedDoesNotPerturb is the llsc half of the PR 6 headline
+// regression test: a quiesced read of an untouched register must return
+// its initial value without allocating it, leaving the fingerprint — and
+// therefore the explorer's memo keys — unchanged.
+func TestReadQuiescedDoesNotPerturb(t *testing.T) {
+	m := New(2, WithInit(func(reg int) shmem.Value { return reg + 100 }))
+	if got := m.ReadQuiesced(9); got != 109 {
+		t.Fatalf("ReadQuiesced(9) = %v, want 109 (the initial value)", got)
+	}
+	if fp := m.Fingerprint(); fp != "" {
+		t.Fatalf("ReadQuiesced perturbed the fingerprint: %q", fp)
+	}
+	bare := New(2)
+	if got := bare.ReadQuiesced(9); got != nil {
+		t.Fatalf("ReadQuiesced(9) with no init = %v, want nil", got)
+	}
+	if key := string(bare.AppendFingerprint(nil)); key != string(New(2).AppendFingerprint(nil)) {
+		t.Fatal("ReadQuiesced perturbed the binary fingerprint")
+	}
+	// A real operation still shows up afterwards.
+	m.Handle(0).LL(9)
+	if fp := m.Fingerprint(); fp == "" {
+		t.Fatal("LL must perturb the fingerprint")
+	}
+}
+
+// TestAppendFingerprintDiscriminates pins the binary fingerprint's
+// properties: deterministic, value-sensitive, Pset-sensitive,
+// register-index-sensitive, and self-delimiting under concatenation.
+func TestAppendFingerprintDiscriminates(t *testing.T) {
+	build := func(f func(m *Memory)) string {
+		m := New(2)
+		f(m)
+		return string(m.AppendFingerprint(nil))
+	}
+	base := build(func(m *Memory) { m.Handle(0).LL(0) })
+	if base != build(func(m *Memory) { m.Handle(0).LL(0) }) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if base == build(func(m *Memory) { m.Handle(1).LL(0) }) {
+		t.Fatal("fingerprint insensitive to Pset membership")
+	}
+	if base == build(func(m *Memory) { m.Handle(0).LL(1) }) {
+		t.Fatal("fingerprint insensitive to register index")
+	}
+	if base == build(func(m *Memory) { m.Handle(0).Swap(0, "x") }) {
+		t.Fatal("fingerprint insensitive to value")
+	}
+	// A successful SC clears the Pset: state differs from post-LL.
+	afterSC := build(func(m *Memory) {
+		h := m.Handle(0)
+		h.LL(0)
+		h.SC(0, nil)
+	})
+	if base == afterSC {
+		t.Fatal("fingerprint insensitive to SC clearing the Pset")
+	}
+	// Appending reuses dst and preserves the prefix.
+	m := New(2)
+	m.Handle(0).LL(0)
+	out := m.AppendFingerprint([]byte("pre"))
+	if string(out[:3]) != "pre" {
+		t.Fatalf("AppendFingerprint clobbered dst: %q", out)
+	}
+}
+
+// TestFingerprintAgreesWithString checks the two fingerprint forms induce
+// the same equivalence on a family of small states: binary keys are equal
+// exactly when the string fingerprints are.
+func TestFingerprintAgreesWithString(t *testing.T) {
+	states := []func(m *Memory){
+		func(m *Memory) {},
+		func(m *Memory) { m.Handle(0).LL(0) },
+		func(m *Memory) { m.Handle(1).LL(0) },
+		func(m *Memory) { m.Handle(0).LL(1) },
+		func(m *Memory) { m.Handle(0).Swap(0, 7) },
+		func(m *Memory) { m.Handle(0).Swap(0, "7") },
+		func(m *Memory) { h := m.Handle(0); h.LL(0); h.SC(0, 7) },
+		func(m *Memory) { h := m.Handle(0); h.LL(2); m.Handle(1).LL(2) },
+		func(m *Memory) { m.Handle(0).Move(0, 1) },
+	}
+	type pair struct{ str, bin string }
+	pairs := make([]pair, len(states))
+	for i, f := range states {
+		m := New(2)
+		f(m)
+		pairs[i] = pair{m.Fingerprint(), string(m.AppendFingerprint(nil))}
+	}
+	for i := range pairs {
+		for j := range pairs {
+			if (pairs[i].str == pairs[j].str) != (pairs[i].bin == pairs[j].bin) {
+				t.Errorf("fingerprint forms disagree on states %d vs %d: str %q/%q bin %x/%x",
+					i, j, pairs[i].str, pairs[j].str, pairs[i].bin, pairs[j].bin)
+			}
+		}
+	}
+}

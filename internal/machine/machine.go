@@ -392,6 +392,18 @@ func (m *Machine) HistoryKey() string {
 	return fmt.Sprintf("ev%d:%016x", m.events, m.hist.Sum64())
 }
 
+// HistoryDigest returns the raw components of HistoryKey — the event count
+// and the running FNV-1a sum — plus whether history tracking is enabled
+// (false after DisableHistory). Callers that fold many digests into a
+// compact binary key (the exploration harness's memoization state) use it
+// to avoid the per-call string formatting of HistoryKey.
+func (m *Machine) HistoryDigest() (events int, sum uint64, enabled bool) {
+	if m.noHistory {
+		return 0, 0, false
+	}
+	return m.events, m.hist.Sum64(), true
+}
+
 // Close abandons the machine: the underlying goroutine is unwound and
 // reclaimed. Close is idempotent and must be called (directly or via a
 // runner) for every started machine.

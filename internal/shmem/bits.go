@@ -1,6 +1,10 @@
 package shmem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
 
 // Word/bit helpers for uint64-word bitsets (core.PidSet and friends).
 // They exist in one place so the word-boundary arithmetic — the classic
@@ -24,6 +28,97 @@ func MaskUpTo(k int) uint64 {
 		return ^uint64(0)
 	}
 	return (uint64(1) << uint(k)) - 1
+}
+
+// PidBits is a set of process ids as a []uint64 bitset — the register-file
+// Pset representation (DESIGN §11). The hot path cares about two
+// operations: adding the caller on LL (one OR) and clearing the whole set
+// on a successful SC, swap, or move (zeroing words in place, no
+// allocation — the map representation it replaced allocated a fresh map
+// per clear). The zero value is the empty set.
+//
+// core.PidSet is the same shape with a cached cardinality; PidBits lives
+// here, below it, because package core imports shmem.
+type PidBits []uint64
+
+// Add inserts pid (non-negative), growing the word slice as needed.
+func (b *PidBits) Add(pid int) {
+	w := WordOf(pid)
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= BitOf(pid)
+}
+
+// Contains reports membership.
+func (b PidBits) Contains(pid int) bool {
+	if pid < 0 {
+		return false
+	}
+	w := WordOf(pid)
+	return w < len(b) && b[w]&BitOf(pid) != 0
+}
+
+// Clear empties the set in place, keeping the backing array.
+func (b PidBits) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Empty reports whether the set has no elements.
+func (b PidBits) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the cardinality.
+func (b PidBits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Each calls f for every element in increasing order.
+func (b PidBits) Each(f func(pid int)) {
+	for i, w := range b {
+		for w != 0 {
+			t := bits.TrailingZeros64(w)
+			f(i<<6 + t)
+			w &^= 1 << uint(t)
+		}
+	}
+}
+
+// Sorted returns the elements in increasing order. The result is non-nil
+// even for the empty set, matching the []int Pset snapshots that predate
+// the bitset representation.
+func (b PidBits) Sorted() []int {
+	out := make([]int, 0, b.Count())
+	b.Each(func(pid int) { out = append(out, pid) })
+	return out
+}
+
+// AppendBinary appends a canonical binary rendering of the set to dst:
+// a uvarint word count followed by that many little-endian words, with
+// trailing zero words trimmed so equal sets render identically regardless
+// of backing-array capacity. Memory fingerprints build on it (DESIGN §11).
+func (b PidBits) AppendBinary(dst []byte) []byte {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	dst = binary.AppendUvarint(dst, uint64(n))
+	for _, w := range b[:n] {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
 }
 
 // ApproxBits estimates the size of a register value in bits, as 8× the

@@ -119,3 +119,95 @@ func popcount(v uint64) int {
 	}
 	return n
 }
+
+func TestPidBitsBasics(t *testing.T) {
+	var b PidBits
+	if !b.Empty() || b.Count() != 0 || b.Contains(0) || b.Contains(-1) {
+		t.Fatal("zero PidBits must be the empty set")
+	}
+	for _, p := range []int{0, 63, 64, 130, 63} {
+		b.Add(p)
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4 (duplicate Add must not double-count)", b.Count())
+	}
+	want := []int{0, 63, 64, 130}
+	got := b.Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("Sorted = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+	for _, p := range want {
+		if !b.Contains(p) {
+			t.Fatalf("Contains(%d) = false after Add", p)
+		}
+	}
+	if b.Contains(1) || b.Contains(65) || b.Contains(131) || b.Contains(1000) {
+		t.Fatal("Contains reports absent elements")
+	}
+	b.Clear()
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("Clear must empty the set")
+	}
+	if cap(b) == 0 {
+		t.Fatal("Clear must keep the backing array")
+	}
+}
+
+func TestPidBitsSortedNonNilWhenEmpty(t *testing.T) {
+	var b PidBits
+	if b.Sorted() == nil {
+		t.Fatal("Sorted of the empty set must be non-nil (snapshot compatibility)")
+	}
+}
+
+func TestPidBitsAppendBinaryCanonical(t *testing.T) {
+	// Equal sets with different backing capacities must render identically:
+	// trailing zero words are trimmed.
+	var a PidBits
+	a.Add(3)
+	b := PidBits{0, 0, 0}
+	b.Add(3) // word 0; words 1, 2 remain zero
+	ra, rb := a.AppendBinary(nil), b.AppendBinary(nil)
+	if string(ra) != string(rb) {
+		t.Fatalf("AppendBinary not canonical: %x vs %x", ra, rb)
+	}
+	// The empty set renders as a bare zero count regardless of capacity.
+	var empty PidBits
+	cleared := PidBits{0, 0}
+	if string(empty.AppendBinary(nil)) != string(cleared.AppendBinary(nil)) {
+		t.Fatal("AppendBinary of empty sets must not depend on capacity")
+	}
+	// Distinct sets must render distinctly.
+	var c PidBits
+	c.Add(4)
+	if string(a.AppendBinary(nil)) == string(c.AppendBinary(nil)) {
+		t.Fatal("AppendBinary collided on distinct sets")
+	}
+	// Appends to dst, preserving the prefix.
+	out := a.AppendBinary([]byte("prefix"))
+	if string(out[:6]) != "prefix" {
+		t.Fatalf("AppendBinary clobbered dst prefix: %q", out)
+	}
+}
+
+func TestPidBitsEachAscending(t *testing.T) {
+	var b PidBits
+	for _, p := range []int{200, 5, 64, 0} {
+		b.Add(p)
+	}
+	var got []int
+	b.Each(func(p int) { got = append(got, p) })
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Each not ascending: %v", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("Each visited %d elements, want 4", len(got))
+	}
+}

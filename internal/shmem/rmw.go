@@ -12,11 +12,10 @@ package shmem
 // single RMW. Experiment E10 demonstrates exactly that, which is why the
 // lower bound cannot extend to such a memory without restricting it.
 func (m *Memory) RMW(pid, i int, f func(Value) Value) Value {
-	m.steps[pid]++
-	m.total++
+	m.chargeStep(pid)
 	r := m.reg(i)
 	prev := r.val
 	r.val = f(prev)
-	r.pset = make(map[int]struct{})
+	r.pset.Clear()
 	return prev
 }

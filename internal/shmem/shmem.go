@@ -133,14 +133,35 @@ func (s RegState) Equal(o RegState) bool {
 	return true
 }
 
-// ValuesEqual reports structural equality of two register values.
+// ValuesEqual reports structural equality of two register values. Scalar
+// values — the overwhelming majority on the adversary and exploration hot
+// paths — are compared by a type switch; everything else falls back to
+// reflect.DeepEqual. The two agree exactly: DeepEqual on identical scalar
+// types is ==, and on mismatched dynamic types it is false.
 func ValuesEqual(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	switch av := a.(type) {
+	case int:
+		bv, ok := b.(int)
+		return ok && av == bv
+	case int64:
+		bv, ok := b.(int64)
+		return ok && av == bv
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	}
 	return reflect.DeepEqual(a, b)
 }
 
 type register struct {
 	val  Value
-	pset map[int]struct{}
+	pset PidBits
 }
 
 // Memory is the shared memory: an unbounded register file plus per-process
@@ -149,10 +170,18 @@ type register struct {
 // concurrent linearizable variant usable from many goroutines, see package
 // llsc.
 type Memory struct {
-	regs      map[int]*register
-	initVal   func(reg int) Value
-	steps     map[int]int64
-	total     int64
+	regs map[int]*register
+	// touched holds the indices of allocated registers in increasing
+	// order, maintained on first touch so Snapshot/Touched/Dump never
+	// sort (DESIGN §11).
+	touched []int
+	initVal func(reg int) Value
+	steps   map[int]int64
+	total   int64
+	// maxSteps/maxPid track max_p Steps(p) incrementally (smallest pid on
+	// ties), so MaxSteps is O(1) instead of sort-per-call.
+	maxSteps  int64
+	maxPid    int
 	trackBits bool
 	maxBits   int
 }
@@ -171,8 +200,9 @@ func WithInit(f func(reg int) Value) Option {
 // the value supplied by WithInit) and have empty Psets.
 func New(opts ...Option) *Memory {
 	m := &Memory{
-		regs:  make(map[int]*register),
-		steps: make(map[int]int64),
+		regs:   make(map[int]*register),
+		steps:  make(map[int]int64),
+		maxPid: -1,
 	}
 	for _, o := range opts {
 		o(m)
@@ -183,45 +213,63 @@ func New(opts ...Option) *Memory {
 func (m *Memory) reg(i int) *register {
 	r, ok := m.regs[i]
 	if !ok {
-		r = &register{pset: make(map[int]struct{})}
+		r = &register{}
 		if m.initVal != nil {
 			r.val = m.initVal(i)
 			m.noteBits(r.val)
 		}
 		m.regs[i] = r
+		m.noteTouched(i)
 	}
 	return r
+}
+
+// chargeStep charges pid one shared-access step and maintains the running
+// max (smallest pid on ties) that MaxSteps reports.
+func (m *Memory) chargeStep(pid int) {
+	s := m.steps[pid] + 1
+	m.steps[pid] = s
+	m.total++
+	if s > m.maxSteps || (s == m.maxSteps && pid < m.maxPid) {
+		m.maxSteps, m.maxPid = s, pid
+	}
+}
+
+// noteTouched inserts i into the sorted touched index (first touch only).
+func (m *Memory) noteTouched(i int) {
+	at := sort.SearchInts(m.touched, i)
+	m.touched = append(m.touched, 0)
+	copy(m.touched[at+1:], m.touched[at:])
+	m.touched[at] = i
 }
 
 // Apply performs op on behalf of process pid, charges pid one shared-access
 // step, and returns the response. The semantics follow Section 3 verbatim.
 func (m *Memory) Apply(pid int, op Op) Response {
-	m.steps[pid]++
-	m.total++
+	m.chargeStep(pid)
 	switch op.Kind {
 	case OpLL:
 		r := m.reg(op.Reg)
-		r.pset[pid] = struct{}{}
+		r.pset.Add(pid)
 		return Response{OK: true, Val: r.val}
 	case OpSC:
 		r := m.reg(op.Reg)
 		prev := r.val
-		if _, linked := r.pset[pid]; linked {
+		if r.pset.Contains(pid) {
 			r.val = op.Arg
-			r.pset = make(map[int]struct{})
+			r.pset.Clear()
 			m.noteBits(op.Arg)
 			return Response{OK: true, Val: prev}
 		}
 		return Response{OK: false, Val: prev}
 	case OpValidate:
 		r := m.reg(op.Reg)
-		_, linked := r.pset[pid]
-		return Response{OK: linked, Val: r.val}
+		return Response{OK: r.pset.Contains(pid), Val: r.val}
 	case OpSwap:
 		r := m.reg(op.Reg)
 		prev := r.val
 		r.val = op.Arg
-		r.pset = make(map[int]struct{})
+		r.pset.Clear()
 		m.noteBits(op.Arg)
 		return Response{OK: true, Val: prev}
 	case OpMove:
@@ -238,7 +286,7 @@ func (m *Memory) Apply(pid int, op Op) Response {
 		src := m.reg(op.Src)
 		dst := m.reg(op.Reg)
 		dst.val = src.val
-		dst.pset = make(map[int]struct{})
+		dst.pset.Clear()
 		return Response{OK: true}
 	default:
 		panic(fmt.Sprintf("shmem: unknown op kind %v", op.Kind))
@@ -248,15 +296,27 @@ func (m *Memory) Apply(pid int, op Op) Response {
 // Read returns the current value of register i without charging any process
 // a step and without perturbing the register. It exists for checkers and
 // reporting code; algorithms must go through Apply.
+//
+// Reading an untouched register returns its initial value without
+// allocating it: the register stays out of Touched, Snapshot, and Dump.
+// (Until PR 6 this routed through the lazily-allocating register lookup,
+// so a documented-as-non-perturbing checker read changed all three.)
 func (m *Memory) Read(i int) Value {
-	return m.reg(i).val
+	if r, ok := m.regs[i]; ok {
+		return r.val
+	}
+	if m.initVal != nil {
+		return m.initVal(i)
+	}
+	return nil
 }
 
 // PsetContains reports whether pid is in register i's Pset, without charging
-// a step. For checkers only.
+// a step. For checkers only. Like Read, it never allocates the register:
+// an untouched register has an empty Pset by construction.
 func (m *Memory) PsetContains(i, pid int) bool {
-	_, ok := m.reg(i).pset[pid]
-	return ok
+	r, ok := m.regs[i]
+	return ok && r.pset.Contains(pid)
 }
 
 // Steps returns the number of shared-memory operations performed by pid so
@@ -271,59 +331,36 @@ func (m *Memory) TotalSteps() int64 {
 }
 
 // MaxSteps returns max over processes of Steps — t(R) in the paper's
-// notation — and the pid attaining it (smallest pid on ties, -1 if no steps).
+// notation — and the pid attaining it (smallest pid on ties, -1 if no
+// steps). The running max is maintained by Apply, so this is O(1);
+// lbreport calls it once per experiment section.
 func (m *Memory) MaxSteps() (steps int64, pid int) {
-	pid = -1
-	pids := make([]int, 0, len(m.steps))
-	for p := range m.steps {
-		pids = append(pids, p)
-	}
-	sort.Ints(pids)
-	for _, p := range pids {
-		if m.steps[p] > steps {
-			steps, pid = m.steps[p], p
-		}
-	}
-	return steps, pid
+	return m.maxSteps, m.maxPid
 }
 
 // Snapshot captures the state of every touched register: value plus sorted
 // Pset. Untouched registers are omitted (they hold their initial value and
 // an empty Pset by construction).
 func (m *Memory) Snapshot() map[int]RegState {
-	snap := make(map[int]RegState, len(m.regs))
-	for i, r := range m.regs {
-		ps := make([]int, 0, len(r.pset))
-		for p := range r.pset {
-			ps = append(ps, p)
-		}
-		sort.Ints(ps)
-		snap[i] = RegState{Val: r.val, Pset: ps}
+	snap := make(map[int]RegState, len(m.touched))
+	for _, i := range m.touched {
+		r := m.regs[i]
+		snap[i] = RegState{Val: r.val, Pset: r.pset.Sorted()}
 	}
 	return snap
 }
 
 // Touched returns the sorted indices of registers that have been accessed.
 func (m *Memory) Touched() []int {
-	idx := make([]int, 0, len(m.regs))
-	for i := range m.regs {
-		idx = append(idx, i)
-	}
-	sort.Ints(idx)
-	return idx
+	return append([]int(nil), m.touched...)
 }
 
 // Dump renders the touched registers, for debugging.
 func (m *Memory) Dump() string {
 	var b strings.Builder
-	for _, i := range m.Touched() {
+	for _, i := range m.touched {
 		r := m.regs[i]
-		ps := make([]int, 0, len(r.pset))
-		for p := range r.pset {
-			ps = append(ps, p)
-		}
-		sort.Ints(ps)
-		fmt.Fprintf(&b, "R%d = %v Pset=%v\n", i, r.val, ps)
+		fmt.Fprintf(&b, "R%d = %v Pset=%v\n", i, r.val, r.pset.Sorted())
 	}
 	return b.String()
 }

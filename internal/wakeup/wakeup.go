@@ -25,7 +25,6 @@ package wakeup
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -39,33 +38,58 @@ const setReg = 0
 // EncodePids encodes a pid set as a canonical comma-separated string —
 // the unbounded register contents of the set-accumulation algorithms.
 func EncodePids(pids map[int]bool) string {
-	sorted := make([]int, 0, len(pids))
-	for p := range pids {
-		sorted = append(sorted, p)
+	var set shmem.PidBits
+	for p, in := range pids {
+		if in {
+			set.Add(p)
+		}
 	}
-	sort.Ints(sorted)
-	parts := make([]string, len(sorted))
-	for i, p := range sorted {
-		parts[i] = strconv.Itoa(p)
-	}
-	return strings.Join(parts, ",")
+	return EncodeBits(set)
+}
+
+// EncodeBits is EncodePids for a bitset: it renders set in the same
+// canonical format (a bitset iterates in increasing order, so no sort is
+// needed). The algorithm bodies use the bitset form on their LL/SC retry
+// loops — profiling the adversary benchmarks showed the map+sort+join
+// round-trip of the original encoding dominating every wakeup run.
+func EncodeBits(set shmem.PidBits) string {
+	buf := make([]byte, 0, 4*set.Count())
+	set.Each(func(p int) {
+		if len(buf) > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(p), 10)
+	})
+	return string(buf)
 }
 
 // DecodePids decodes EncodePids output (nil and "" decode to the empty set).
 func DecodePids(v shmem.Value) map[int]bool {
 	out := make(map[int]bool)
+	DecodeBits(v, nil).Each(func(p int) { out[p] = true })
+	return out
+}
+
+// DecodeBits decodes EncodePids/EncodeBits output into dst (cleared
+// first), reusing dst's backing array — the retry loops decode on every
+// LL, so the register hot path stays allocation-light.
+func DecodeBits(v shmem.Value, dst shmem.PidBits) shmem.PidBits {
+	dst.Clear()
 	s, _ := v.(string)
-	if s == "" {
-		return out
-	}
-	for _, part := range strings.Split(s, ",") {
+	for s != "" {
+		part := s
+		if i := strings.IndexByte(s, ','); i >= 0 {
+			part, s = s[:i], s[i+1:]
+		} else {
+			s = ""
+		}
 		p, err := strconv.Atoi(part)
 		if err != nil {
-			panic(fmt.Sprintf("wakeup: corrupt pid set register %q", s))
+			panic(fmt.Sprintf("wakeup: corrupt pid set register %q", v))
 		}
-		out[p] = true
+		dst.Add(p)
 	}
-	return out
+	return dst
 }
 
 // SetRegister returns the set-accumulation wakeup algorithm: one unbounded
@@ -81,12 +105,13 @@ func DecodePids(v shmem.Value) map[int]bool {
 // linked pid succeeds each round.
 func SetRegister() machine.Algorithm {
 	return machine.New("wakeup/set-register", func(e *machine.Env) shmem.Value {
+		var set shmem.PidBits
 		for {
-			set := DecodePids(e.LL(setReg))
-			set[e.ID()] = true
-			ok, _ := e.SC(setReg, EncodePids(set))
+			set = DecodeBits(e.LL(setReg), set)
+			set.Add(e.ID())
+			ok, _ := e.SC(setReg, EncodeBits(set))
 			if ok {
-				if len(set) == e.N() {
+				if set.Count() == e.N() {
 					return 1
 				}
 				return 0
@@ -106,18 +131,17 @@ func SetRegister() machine.Algorithm {
 func DoubleRegister() machine.Algorithm {
 	return machine.New("wakeup/double-register", func(e *machine.Env) shmem.Value {
 		reg := int(e.Toss()) & 1
+		var set shmem.PidBits
 		for {
-			set := DecodePids(e.LL(reg))
-			set[e.ID()] = true
-			if ok, _ := e.SC(reg, EncodePids(set)); ok {
+			set = DecodeBits(e.LL(reg), set)
+			set.Add(e.ID())
+			if ok, _ := e.SC(reg, EncodeBits(set)); ok {
 				break
 			}
 		}
-		union := DecodePids(e.Read(0))
-		for p := range DecodePids(e.Read(1)) {
-			union[p] = true
-		}
-		if len(union) == e.N() {
+		union := DecodeBits(e.Read(0), nil)
+		DecodeBits(e.Read(1), nil).Each(union.Add)
+		if union.Count() == e.N() {
 			return 1
 		}
 		return 0
@@ -151,26 +175,26 @@ func MoveCourier() machine.Algorithm {
 	ownReg := func(pid int) int { return 10 + pid }
 	return machine.New("wakeup/move-courier", func(e *machine.Env) shmem.Value {
 		// Publish own id.
-		e.Swap(ownReg(e.ID()), EncodePids(map[int]bool{e.ID(): true}))
+		var own shmem.PidBits
+		own.Add(e.ID())
+		e.Swap(ownReg(e.ID()), EncodeBits(own))
 		// Copy own register into the relay: the move phase of each round
 		// now has real work, scheduled secretively by the adversary.
 		e.Move(ownReg(e.ID()), relay)
 		// Accumulate: merge what the relay shows, then LL/SC-insert into
 		// the shared set register until our insertion lands.
-		know := map[int]bool{e.ID(): true}
-		for p := range DecodePids(e.Read(relay)) {
-			know[p] = true
-		}
+		var know shmem.PidBits
+		know.Add(e.ID())
+		DecodeBits(e.Read(relay), nil).Each(know.Add)
+		var set shmem.PidBits
 		for {
-			set := DecodePids(e.LL(acc))
-			for p := range set {
-				know[p] = true
-			}
-			if ok, _ := e.SC(acc, EncodePids(know)); ok {
+			set = DecodeBits(e.LL(acc), set)
+			set.Each(know.Add)
+			if ok, _ := e.SC(acc, EncodeBits(know)); ok {
 				break
 			}
 		}
-		if len(know) == e.N() {
+		if know.Count() == e.N() {
 			return 1
 		}
 		// One last look: the set register may have completed meanwhile;

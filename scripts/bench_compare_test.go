@@ -1,0 +1,183 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkOutput(cpu string, benches map[string]map[string]float64) *Output {
+	out := &Output{Env: map[string]string{"cpu": cpu}}
+	for _, name := range unitKeys(benches) {
+		out.Benchmarks = append(out.Benchmarks, &Benchmark{Name: name, Mean: benches[name]})
+	}
+	return out
+}
+
+func unitKeys(m map[string]map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	// Insertion order is irrelevant to compare(); keep it simple.
+	return names
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		unit   string
+		class  metricClass
+		higher bool
+	}{
+		{"ns/op", classTiming, false},
+		{"steps/sec", classTiming, true},
+		{"runs/sec", classTiming, true},
+		{"B/op", classAlloc, false},
+		{"allocs/op", classAlloc, false},
+		{"winner-steps", classExact, false},
+		{"log4n-bound", classExact, false},
+		{"forced-steps/op", classExact, false},
+	}
+	for _, tc := range cases {
+		c, higher := classify(tc.unit)
+		if c != tc.class || higher != tc.higher {
+			t.Errorf("classify(%q) = (%v, %t), want (%v, %t)", tc.unit, c, higher, tc.class, tc.higher)
+		}
+	}
+}
+
+func TestCompareGatesClasses(t *testing.T) {
+	cfg := compareConfig{timeTol: 1.0, allocTol: 0.35, sameCPU: true}
+	baseline := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkHot-4": {"ns/op": 100, "allocs/op": 10, "winner-steps": 8, "steps/sec": 1000},
+	})
+
+	// Within tolerance on every class: no violations.
+	ok := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkHot-4": {"ns/op": 150, "allocs/op": 12, "winner-steps": 8, "steps/sec": 700},
+	})
+	if v, _ := compare(baseline, ok, cfg); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+
+	// Each class tripped: timing 2.5x slower, throughput under half,
+	// allocs +50%, and a deterministic metric off by one.
+	bad := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkHot-4": {"ns/op": 250, "allocs/op": 15, "winner-steps": 9, "steps/sec": 400},
+	})
+	v, _ := compare(baseline, bad, cfg)
+	if len(v) != 4 {
+		t.Fatalf("got %d violations, want 4: %v", len(v), v)
+	}
+	for _, viol := range v {
+		if !viol.gating {
+			t.Errorf("violation %v should gate on the same CPU", viol)
+		}
+	}
+
+	// Cross-machine: the timing violations downgrade to warnings, the
+	// alloc and exact ones still gate.
+	cfg.sameCPU = false
+	v, _ = compare(baseline, bad, cfg)
+	gating := 0
+	for _, viol := range v {
+		cls, _ := classify(viol.unit)
+		if viol.gating != (cls != classTiming) {
+			t.Errorf("violation %v: gating = %t on cross-machine compare", viol, viol.gating)
+		}
+		if viol.gating {
+			gating++
+		}
+	}
+	if gating != 2 {
+		t.Fatalf("got %d gating violations cross-machine, want 2 (allocs, exact)", gating)
+	}
+}
+
+func TestCompareImprovementsDoNotGate(t *testing.T) {
+	cfg := compareConfig{timeTol: 1.0, allocTol: 0.35, sameCPU: true}
+	baseline := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkHot-4": {"ns/op": 100, "allocs/op": 10, "steps/sec": 1000},
+	})
+	// 10x faster, zero allocs, 10x throughput: improvements never fail.
+	better := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkHot-4": {"ns/op": 10, "allocs/op": 0, "steps/sec": 10000},
+	})
+	if v, _ := compare(baseline, better, cfg); len(v) != 0 {
+		t.Fatalf("improvements flagged as regressions: %v", v)
+	}
+}
+
+func TestCompareSkipsDisjointBenchmarks(t *testing.T) {
+	cfg := compareConfig{timeTol: 1.0, allocTol: 0.35, sameCPU: true}
+	baseline := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkOld-4":    {"ns/op": 100},
+		"BenchmarkShared-4": {"ns/op": 100},
+	})
+	current := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkShared-4": {"ns/op": 120},
+		"BenchmarkNew-4":    {"ns/op": 5},
+	})
+	v, skipped := compare(baseline, current, cfg)
+	if len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %v, want baseline-only and current-only entries", skipped)
+	}
+	joined := strings.Join(skipped, "; ")
+	if !strings.Contains(joined, "BenchmarkOld-4 (baseline only)") ||
+		!strings.Contains(joined, "BenchmarkNew-4 (current only)") {
+		t.Fatalf("skipped = %v", skipped)
+	}
+}
+
+func TestCompareMissingUnitSkipped(t *testing.T) {
+	cfg := compareConfig{timeTol: 1.0, allocTol: 0.35, sameCPU: true}
+	baseline := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkHot-4": {"ns/op": 100, "steps/sec": 1000},
+	})
+	// -benchmem off in the current run: units absent on one side are not
+	// violations.
+	current := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkHot-4": {"ns/op": 100},
+	})
+	if v, _ := compare(baseline, current, cfg); len(v) != 0 {
+		t.Fatalf("missing unit flagged: %v", v)
+	}
+}
+
+func TestRunCompareReport(t *testing.T) {
+	cfg := compareConfig{timeTol: 1.0, allocTol: 0.35, sameCPU: true}
+	baseline := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkHot-4": {"winner-steps": 8},
+	})
+	bad := mkOutput("cpuA", map[string]map[string]float64{
+		"BenchmarkHot-4": {"winner-steps": 9},
+	})
+	var sb strings.Builder
+	if failures := runCompare(&sb, baseline, bad, cfg); failures != 1 {
+		t.Fatalf("failures = %d, want 1; report:\n%s", failures, sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL: BenchmarkHot-4 winner-steps") {
+		t.Fatalf("report missing failure line:\n%s", sb.String())
+	}
+	sb.Reset()
+	if failures := runCompare(&sb, baseline, baseline, cfg); failures != 0 {
+		t.Fatalf("self-compare failed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "bench-compare: ok") {
+		t.Fatalf("report missing ok line:\n%s", sb.String())
+	}
+}
+
+func TestRegressedZeroBaseline(t *testing.T) {
+	if regressed(0, 5, 1.0, false) != true {
+		t.Error("nonzero over a zero lower-is-better baseline must regress")
+	}
+	if regressed(0, 0, 1.0, false) {
+		t.Error("zero over zero is not a regression")
+	}
+	if regressed(0, 5, 1.0, true) {
+		t.Error("throughput appearing where baseline had none is not a regression")
+	}
+}

@@ -53,7 +53,38 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench_json: ")
 	out := flag.String("o", "", "write JSON to this file (default stdout)")
+	baselinePath := flag.String("compare", "", "compare against this BENCH_<sha>.json baseline instead of converting; exits 1 on regressions")
+	againstPath := flag.String("against", "", "with -compare: current artifact JSON (default: parse bench text from stdin)")
+	timeTol := flag.Float64("time-tol", 1.0, "relative tolerance for timing metrics (ns/op, */sec)")
+	allocTol := flag.Float64("alloc-tol", 0.35, "relative tolerance for allocation metrics (B/op, allocs/op)")
 	flag.Parse()
+	if *baselinePath != "" {
+		baseline, err := loadArtifact(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var current *Output
+		if *againstPath != "" {
+			current, err = loadArtifact(*againstPath)
+		} else {
+			current, err = parse(os.Stdin)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(current.Benchmarks) == 0 {
+			log.Fatal("no benchmark results in the current run")
+		}
+		cfg := compareConfig{
+			timeTol:  *timeTol,
+			allocTol: *allocTol,
+			sameCPU:  baseline.Env["cpu"] != "" && baseline.Env["cpu"] == current.Env["cpu"],
+		}
+		if failures := runCompare(os.Stdout, baseline, current, cfg); failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	parsed, err := parse(os.Stdin)
 	if err != nil {
 		log.Fatal(err)
@@ -79,6 +110,20 @@ func main() {
 	if err := enc.Encode(parsed); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// loadArtifact reads a BENCH_<sha>.json artifact back into an Output.
+func loadArtifact(path string) (*Output, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out Output
+	if err := json.NewDecoder(f).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &out, nil
 }
 
 // parse reads `go test -bench` output and collects environment headers
