@@ -18,11 +18,11 @@ BENCH_SHA ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo local)
 # exploration hot paths this codebase optimizes for, kept quick enough
 # for CI. Timing diffs only gate when baseline and current ran on the
 # same CPU model; allocation and paper-level metrics always gate.
-HOTPATH_BENCH ?= E1WakeupForcedSteps|ShmemLLSC|PsetChurn|ValuesEqual|MaxSteps|LLSCFingerprint|ExhaustiveExplore
+HOTPATH_BENCH ?= E1WakeupForcedSteps|ShmemLLSC|PsetChurn|ValuesEqual|MaxSteps|LLSCFingerprint|ExhaustiveExplore|MachineStep|VMStep
 # Committed baseline artifact to diff against (first BENCH_*.json here).
 BENCH_BASELINE ?= $(firstword $(wildcard BENCH_*.json))
 
-.PHONY: build vet test race check smoke serve-smoke dist-smoke bench bench-json bench-compare profile report mutation cover fuzz-short explore-smoke ci
+.PHONY: build vet test race check smoke serve-smoke dist-smoke bench bench-json bench-compare profile report mutation cover fuzz-short vm-equivalence explore-smoke ci
 
 build:
 	$(GO) build ./...
@@ -107,6 +107,15 @@ fuzz-short:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzIndistinguishability$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzUPMonotone$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/shmem/ -run '^$$' -fuzz '^FuzzRegStateEqual$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lockstep/ -run '^$$' -fuzz '^FuzzVMEquivalence$$' -fuzztime $(FUZZTIME)
+
+# Differential proof that the bytecode VM and the goroutine interpreter are
+# observably identical: exhaustive lockstep exploration at n ∈ {2,3} for
+# every compiled construction, the committed fuzz corpus, the compiler
+# edge-case suite, and the -race chunk-sharing stress tests.
+vm-equivalence:
+	$(GO) test ./internal/vmachine/ ./internal/machine/ ./internal/lockstep/
+	$(GO) test -race ./internal/lockstep/
 
 # Exhaustive schedule exploration of every construction at small n.
 explore-smoke:

@@ -22,6 +22,7 @@ import (
 	"jayanti98/internal/shmem"
 	"jayanti98/internal/sweep"
 	"jayanti98/internal/universal"
+	"jayanti98/internal/vmachine"
 	"jayanti98/internal/wakeup"
 )
 
@@ -325,13 +326,46 @@ func BenchmarkMachineStep(b *testing.B) {
 			e.Read(0)
 		}
 	})
-	m := machine.Start(alg, 0, 1)
+	m := machine.StartEngine(alg, 0, 1, machine.EngineGoroutine)
 	defer m.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Peek()
 		m.DeliverOpResponse(shmem.Response{OK: false, Val: nil})
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// BenchmarkVMStep measures the bytecode VM's per-shared-step cost on the
+// same spin workload as BenchmarkMachineStep. The interpreter pays two
+// channel handshakes and a goroutine wakeup per step; the VM resumes
+// in-line on the caller's stack, so the gap between the two numbers is the
+// engine speedup every adversary and exploration loop inherits.
+func BenchmarkVMStep(b *testing.B) {
+	chunk := vmachine.MustCompile(&vmachine.Program{
+		Name: "spin",
+		Body: []vmachine.Stmt{
+			vmachine.LoopS{Body: []vmachine.Stmt{
+				vmachine.DoS{E: vmachine.ReadE{Reg: vmachine.ConstE{V: vmachine.Int(0)}}},
+			}},
+		},
+	})
+	alg := machine.NewCompiled("spin", func(e *machine.Env) shmem.Value {
+		for {
+			e.Read(0)
+		}
+	}, chunk)
+	m := machine.StartEngine(alg, 0, 1, machine.EngineVM)
+	defer m.Close()
+	if m.EngineName() != "vm" {
+		b.Fatalf("engine = %q", m.EngineName())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Peek()
+		m.DeliverOpResponse(shmem.Response{OK: false, Val: nil})
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
 }
 
 // BenchmarkE11CountingNetwork measures the counting-network wakeup (the

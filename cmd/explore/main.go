@@ -4,7 +4,7 @@
 // Usage:
 //
 //	explore [-alg name] [-object workload] [-n N] [-k ops] [-mode exhaustive|fuzz]
-//	        [-samples S] [-seed V] [-budget B] [-parallel P] [-out dir]
+//	        [-samples S] [-seed V] [-budget B] [-parallel P] [-out dir] [-engine E]
 //	explore -replay file.json
 //
 // Exhaustive mode enumerates every interleaving (with memoized-state
@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"jayanti98/internal/explore"
+	"jayanti98/internal/machine"
 	"jayanti98/internal/universal"
 )
 
@@ -58,7 +59,16 @@ func main() {
 	flag.IntVar(&opts.Parallel, "parallel", 0, "worker goroutines (default one per CPU; 1 = serial)")
 	flag.StringVar(&opts.Out, "out", "", "fuzz: directory for JSON replay files of failures")
 	flag.StringVar(&opts.Replay, "replay", "", "re-execute a replay file bit-for-bit and exit")
+	engine := flag.String("engine", "", "execution engine: auto, goroutine, or vm (default $LB_ENGINE, else auto)")
 	flag.Parse()
+	if *engine != "" {
+		eng, err := machine.ParseEngine(*engine)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		machine.SetDefaultEngine(eng)
+	}
 
 	foundFailure, err := run(os.Stdout, opts)
 	if err != nil {

@@ -1,0 +1,49 @@
+package explore
+
+import (
+	"testing"
+
+	"jayanti98/internal/machine"
+)
+
+// TestExhaustiveGoldenEngines re-runs the quick exhaustive-golden cases
+// under each forced execution engine and asserts the Report counters are
+// identical to the pinned values. The explorer's algorithm closures carry
+// no compiled chunk, so EngineVM exercises the documented fallback path to
+// the goroutine driver — this test pins that flipping the process-level
+// default engine (as cmd -engine flags and LB_ENGINE do) cannot perturb
+// state enumeration, memoization, or completion counting.
+//
+// Deliberately NOT parallel: SetDefaultEngine is process-global state.
+func TestExhaustiveGoldenEngines(t *testing.T) {
+	cases := []struct {
+		alg                    string
+		n                      int
+		states, runs, complete int
+	}{
+		{alg: "central", n: 2, states: 20, runs: 27, complete: 6},
+		{alg: "group-update", n: 2, states: 384, runs: 607, complete: 48},
+		{alg: "herlihy", n: 2, states: 312, runs: 499, complete: 48},
+	}
+	engines := []machine.Engine{machine.EngineGoroutine, machine.EngineVM}
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			prev := machine.SetDefaultEngine(eng)
+			defer machine.SetDefaultEngine(prev)
+			for _, tc := range cases {
+				rep, err := Exhaustive(Config{Alg: tc.alg, Object: "fetch-increment", N: tc.n, OpsPerProc: 1}, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Failure != nil {
+					t.Fatalf("%s n=%d [%s]: unexpected failure: %v", tc.alg, tc.n, eng, rep.Failure)
+				}
+				if rep.States != tc.states || rep.Runs != tc.runs || rep.Complete != tc.complete {
+					t.Errorf("%s n=%d [%s]: got (states=%d runs=%d complete=%d), want (states=%d runs=%d complete=%d)",
+						tc.alg, tc.n, eng, rep.States, rep.Runs, rep.Complete, tc.states, tc.runs, tc.complete)
+				}
+			}
+		})
+	}
+}

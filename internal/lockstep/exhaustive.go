@@ -1,0 +1,97 @@
+package lockstep
+
+import (
+	"fmt"
+
+	"jayanti98/internal/machine"
+)
+
+// Stats summarizes an exhaustive lockstep exploration.
+type Stats struct {
+	// States is the number of distinct product states visited (memoized on
+	// Pair.StateKey).
+	States int
+	// Runs is the number of complete runs reached (every process terminal).
+	Runs int
+	// MaxDepth is the length of the longest schedule explored.
+	MaxDepth int
+}
+
+// Exhaustive explores every schedule of alg at system size n under the
+// given toss assignment, in lockstep on both engines, pruning product
+// states already visited. Every node replays its schedule prefix from a
+// fresh pair, so each of the O(states × depth) steps re-runs the full
+// per-step verification of Pair.Step; two prefixes reaching the same
+// StateKey have identical futures under identical schedule suffixes, so
+// pruning loses no coverage.
+//
+// depthLimit bounds schedule length as a runaway guard: the compiled
+// algorithms are wait-free with O(n) steps per process, so hitting the
+// limit means a non-terminating schedule — reported as an error, never
+// silently truncated.
+func Exhaustive(alg machine.Algorithm, n int, toss machine.TossAssignment, depthLimit int) (Stats, error) {
+	x := &explorer{
+		alg:        alg,
+		n:          n,
+		toss:       toss,
+		depthLimit: depthLimit,
+		memo:       make(map[string]bool),
+	}
+	if err := x.expand(nil); err != nil {
+		return x.stats, err
+	}
+	return x.stats, nil
+}
+
+type explorer struct {
+	alg        machine.Algorithm
+	n          int
+	toss       machine.TossAssignment
+	depthLimit int
+	memo       map[string]bool
+	stats      Stats
+}
+
+// expand replays prefix from scratch (verifying every step), then — if the
+// resulting state is new — recurses on every enabled process.
+func (x *explorer) expand(prefix []int) error {
+	p, err := NewPair(x.alg, x.n)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	for i, pid := range prefix {
+		advanced, err := p.Step(pid, x.toss)
+		if err != nil {
+			return err
+		}
+		if !advanced {
+			return fmt.Errorf("lockstep: %s n=%d: replay of %v stalled at index %d", x.alg.Name(), x.n, prefix, i)
+		}
+	}
+	key := p.StateKey()
+	if x.memo[key] {
+		return nil
+	}
+	x.memo[key] = true
+	x.stats.States++
+	if len(prefix) > x.stats.MaxDepth {
+		x.stats.MaxDepth = len(prefix)
+	}
+	if p.AllTerminal() {
+		x.stats.Runs++
+		return nil
+	}
+	if len(prefix) >= x.depthLimit {
+		return fmt.Errorf("lockstep: %s n=%d: schedule %v reached depth limit %d without terminating", x.alg.Name(), x.n, prefix, x.depthLimit)
+	}
+	for pid := 0; pid < x.n; pid++ {
+		if p.Terminal(pid) {
+			continue
+		}
+		if err := x.expand(append(prefix, pid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

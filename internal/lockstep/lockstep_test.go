@@ -1,0 +1,185 @@
+package lockstep
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"jayanti98/internal/machine"
+	"jayanti98/internal/shmem"
+	"jayanti98/internal/wakeup"
+)
+
+// constructions returns a fresh instance of every compiled algorithm; each
+// instance shares the package-level chunk of its construction.
+func constructions() []machine.Algorithm {
+	return []machine.Algorithm{
+		wakeup.SetRegister(),
+		wakeup.DoubleRegister(),
+		wakeup.Cheater(),
+		wakeup.MoveCourier(),
+	}
+}
+
+// bitToss derives toss outcomes from a seed: process p's j-th toss is bit
+// p+3j of the seed. At n ≤ 3 and one toss per process (the compiled
+// constructions toss at most once), seeds 0..2^n−1 enumerate every
+// assignment of first tosses.
+func bitToss(seed uint64) machine.TossAssignment {
+	return func(pid, j int) int64 {
+		return int64((seed >> (uint(pid) + 3*uint(j))) & 1)
+	}
+}
+
+// TestExhaustiveEquivalence is the tentpole acceptance test: for every
+// compiled construction, at n ∈ {2, 3}, explore every schedule in lockstep
+// on both engines, verifying every observable at every step. At n=2 every
+// toss assignment of the first tosses is explored; at n=3 the all-zeros
+// and alternating assignments (the two that diverge DoubleRegister's
+// register choices) keep the state count tractable.
+func TestExhaustiveEquivalence(t *testing.T) {
+	type tc struct {
+		alg   machine.Algorithm
+		n     int
+		seeds []uint64
+	}
+	var cases []tc
+	for _, alg := range constructions() {
+		cases = append(cases,
+			tc{alg, 2, []uint64{0, 1, 2, 3}},
+			tc{alg, 3, []uint64{0, 0b101}},
+		)
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("%s/n=%d", strings.TrimPrefix(c.alg.Name(), "wakeup/"), c.n), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range c.seeds {
+				stats, err := Exhaustive(c.alg, c.n, bitToss(seed), 64)
+				if err != nil {
+					t.Fatalf("toss seed %b: %v", seed, err)
+				}
+				if stats.States == 0 || stats.Runs == 0 {
+					t.Fatalf("toss seed %b: degenerate exploration: %+v", seed, stats)
+				}
+				t.Logf("toss seed %b: states=%d runs=%d maxDepth=%d", seed, stats.States, stats.Runs, stats.MaxDepth)
+			}
+		})
+	}
+}
+
+// TestRunSchedules drives each construction at n=4 through round-robin,
+// sequential, and skewed schedules, asserting completion without
+// divergence.
+func TestRunSchedules(t *testing.T) {
+	schedules := map[string]func(n, steps int) []int{
+		"round-robin": func(n, steps int) []int {
+			s := make([]int, steps)
+			for i := range s {
+				s[i] = i % n
+			}
+			return s
+		},
+		"sequential-ish": func(n, steps int) []int {
+			s := make([]int, steps)
+			for i := range s {
+				s[i] = (i * n) / steps
+			}
+			return s
+		},
+		"adversarial-skew": func(n, steps int) []int {
+			s := make([]int, steps)
+			for i := range s {
+				if i%3 == 0 {
+					s[i] = 0
+				} else {
+					s[i] = 1 + (i % (n - 1))
+				}
+			}
+			return s
+		},
+	}
+	const n = 4
+	for _, alg := range constructions() {
+		for name, mk := range schedules {
+			t.Run(strings.TrimPrefix(alg.Name(), "wakeup/")+"/"+name, func(t *testing.T) {
+				steps, err := Run(alg, n, mk(n, 200), bitToss(0b0110))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if steps == 0 {
+					t.Fatal("schedule advanced no steps")
+				}
+			})
+		}
+	}
+}
+
+// TestRMWInterleaved interleaves adversary-style RMW mutations (the
+// Section 7 extra operation) with lockstep steps: both memories receive
+// identical RMWs, and the harness must still see identical responses,
+// digests and register files — including the step accounting RMW charges.
+func TestRMWInterleaved(t *testing.T) {
+	p, err := NewPair(wakeup.SetRegister(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	gmem, vmem := p.Memories()
+	rmw := func(pid, reg int) {
+		f := func(v shmem.Value) shmem.Value {
+			if s, ok := v.(string); ok {
+				return s // identity on the value, but clears the Pset
+			}
+			return v
+		}
+		gprev := gmem.RMW(pid, reg, f)
+		vprev := vmem.RMW(pid, reg, f)
+		if !shmem.ValuesEqual(gprev, vprev) {
+			t.Fatalf("RMW previous values diverged: %v vs %v", gprev, vprev)
+		}
+	}
+	// Step all three processes with an RMW wedged between every step; the
+	// Pset-clearing RMW forces SC failures and extra retry iterations,
+	// identically on both engines.
+	for i := 0; !p.AllTerminal(); i++ {
+		if i > 500 {
+			t.Fatal("run did not terminate")
+		}
+		pid := i % 3
+		if p.Terminal(pid) {
+			continue
+		}
+		if _, err := p.Step(pid, machine.ZeroTosses); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 0 {
+			rmw(pid, 0)
+		}
+	}
+	// RMW charges one step to the acting process on both memories.
+	for pid := 0; pid < 3; pid++ {
+		if g, v := gmem.Steps(pid), vmem.Steps(pid); g != v {
+			t.Fatalf("memory step accounting diverged for pid %d: %d vs %d", pid, g, v)
+		}
+	}
+}
+
+// TestNewPairRejectsUncompiled: a plain interpreted algorithm has no chunk,
+// so a lockstep comparison would be vacuous — NewPair must refuse it.
+func TestNewPairRejectsUncompiled(t *testing.T) {
+	alg := machine.New("plain", func(e *machine.Env) shmem.Value { return 0 })
+	if _, err := NewPair(alg, 2); err == nil {
+		t.Fatal("NewPair accepted an uncompiled algorithm")
+	}
+}
+
+// TestMismatchRendering pins the error shape surfaced to failing tests.
+func TestMismatchRendering(t *testing.T) {
+	err := &Mismatch{Alg: "wakeup/x", N: 2, Pid: 1, Step: 7, Field: "digest", Goro: "a", VM: "b"}
+	for _, want := range []string{"wakeup/x", "step 7", "pid 1", "digest", "goroutine: a", "vm:        b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Mismatch error %q missing %q", err.Error(), want)
+		}
+	}
+}

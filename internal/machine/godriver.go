@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"jayanti98/internal/shmem"
+)
+
+// goDriver is the goroutine engine: the algorithm body runs in direct style
+// on its own goroutine and synchronizes with the scheduler over unbuffered
+// channels. This is the reference implementation of the process model — the
+// body is ordinary Go code, so it can express anything (closures over local
+// state, universal constructions, helper types) at the cost of two channel
+// handoffs per step.
+type goDriver struct {
+	actions   chan Action
+	tossIn    chan int64
+	respIn    chan shmem.Response
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// errKilled is the sentinel panic used to unwind an abandoned machine body.
+type killedSentinel struct{}
+
+func startGoDriver(alg Algorithm, id, n int) *goDriver {
+	g := &goDriver{
+		actions: make(chan Action),
+		tossIn:  make(chan int64),
+		respIn:  make(chan shmem.Response),
+		quit:    make(chan struct{}),
+	}
+	env := &Env{id: id, n: n, m: g}
+	g.wg.Add(1)
+	go g.run(alg, env)
+	return g
+}
+
+func (g *goDriver) run(alg Algorithm, env *Env) {
+	defer g.wg.Done()
+	var final Action
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, killed := r.(killedSentinel); killed {
+					final = Action{} // swallowed; no final action published
+					return
+				}
+				final = Action{Kind: ActCrash, Ret: fmt.Sprintf("panic: %v", r)}
+			}
+		}()
+		ret := alg.Run(env)
+		final = Action{Kind: ActReturn, Ret: ret}
+	}()
+	if final.Kind == 0 {
+		return // killed
+	}
+	select {
+	case g.actions <- final:
+	case <-g.quit:
+	}
+}
+
+// yieldToss publishes a pending toss and blocks for its outcome.
+func (g *goDriver) yieldToss() int64 {
+	select {
+	case g.actions <- Action{Kind: ActToss}:
+	case <-g.quit:
+		panic(killedSentinel{})
+	}
+	select {
+	case v := <-g.tossIn:
+		return v
+	case <-g.quit:
+		panic(killedSentinel{})
+	}
+}
+
+// yieldOp publishes a pending shared-memory op and blocks for its response.
+func (g *goDriver) yieldOp(op shmem.Op) shmem.Response {
+	select {
+	case g.actions <- Action{Kind: ActOp, Op: op}:
+	case <-g.quit:
+		panic(killedSentinel{})
+	}
+	select {
+	case r := <-g.respIn:
+		return r
+	case <-g.quit:
+		panic(killedSentinel{})
+	}
+}
+
+func (g *goDriver) next() Action { return <-g.actions }
+
+func (g *goDriver) toss(outcome int64) { g.tossIn <- outcome }
+
+func (g *goDriver) resp(r shmem.Response) { g.respIn <- r }
+
+func (g *goDriver) close() {
+	g.closeOnce.Do(func() {
+		close(g.quit)
+		// Drain a possibly in-flight action so the body's send completes.
+		select {
+		case <-g.actions:
+		default:
+		}
+		g.wg.Wait()
+	})
+}

@@ -13,6 +13,13 @@
 // Section 5 — total control over interleaving while keeping algorithm code
 // readable.
 //
+// Two engines can sit behind a Machine (see Engine): the goroutine engine
+// parks the direct-style body on its own goroutine and shuttles actions and
+// responses over channels, and the VM engine single-steps a compiled
+// bytecode chunk in-line (package vmachine). Algorithms that carry a chunk
+// (NewCompiled) run on either; schedulers cannot tell them apart — package
+// lockstep proves that statement mechanically.
+//
 // A Machine also records the full history of inputs it consumed and actions
 // it emitted. Two machines running the same algorithm that consumed
 // identical histories are in identical states, so history equality is the
@@ -22,9 +29,6 @@ package machine
 
 import (
 	"fmt"
-	"hash"
-	"hash/fnv"
-	"sync"
 
 	"jayanti98/internal/shmem"
 )
@@ -75,13 +79,21 @@ type TossAssignment func(pid, j int) int64
 // deterministic algorithms.
 func ZeroTosses(int, int) int64 { return 0 }
 
+// yielder is what an Env needs from its machine: a way to publish a pending
+// action and block for its input. Only the goroutine engine runs bodies, so
+// only goDriver implements it.
+type yielder interface {
+	yieldToss() int64
+	yieldOp(op shmem.Op) shmem.Response
+}
+
 // Env is the interface an algorithm body uses to interact with the world.
 // All shared-memory helpers block until the scheduler performs the op and
 // delivers the response.
 type Env struct {
 	id int
 	n  int
-	m  *Machine
+	m  yielder
 }
 
 // ID returns the executing process's identifier in [0, N).
@@ -185,51 +197,58 @@ func New(name string, body Body) Algorithm {
 	return &funcAlgorithm{name: name, body: body}
 }
 
-// errKilled is the sentinel panic used to unwind an abandoned machine body.
-type killedSentinel struct{}
+// driver is the engine behind a Machine: it produces the next pending
+// action and accepts the scheduler's inputs. goDriver runs the direct-style
+// body on a goroutine; vmDriver steps a compiled chunk in-line. All
+// bookkeeping (pending-action caching, terminal state, step and toss
+// counts, the history digest) lives in Machine itself, so the two engines
+// cannot diverge in what they record.
+type driver interface {
+	// next blocks until the engine's next action is available.
+	next() Action
+	// toss delivers a coin-toss outcome for a pending ActToss.
+	toss(outcome int64)
+	// resp delivers a response for a pending ActOp.
+	resp(r shmem.Response)
+	// close abandons the engine, reclaiming any resources; idempotent.
+	close()
+}
 
-// Machine is one resumable process. Create with Start, drive with
-// Peek/DeliverToss/DeliverOpResponse, and always Close when done with it
-// (Close is idempotent and safe on terminated machines).
+// Machine is one resumable process. Create with Start (or StartEngine),
+// drive with Peek/DeliverToss/DeliverOpResponse, and always Close when done
+// with it (Close is idempotent and safe on terminated machines).
 //
 // Machine is not safe for concurrent use by multiple scheduler goroutines.
 type Machine struct {
-	id      int
-	alg     Algorithm
-	actions chan Action
-	tossIn  chan int64
-	respIn  chan shmem.Response
-	quit    chan struct{}
-	wg      sync.WaitGroup
+	id     int
+	alg    Algorithm
+	drv    driver
+	engine string
 
-	pending   *Action
-	done      bool
+	pending    Action
+	hasPending bool
+	done       bool
 	ret       shmem.Value
 	crash     error
 	numTosses int
 	steps     int
-	hist      hash.Hash64
 	events    int
+	dig       digest
 	noHistory bool
-	closeOnce sync.Once
 }
 
-// Start launches process id of n running alg and returns its Machine.
+// Start launches process id of n running alg under the session's default
+// engine (see SetDefaultEngine and the LB_ENGINE environment variable).
 func Start(alg Algorithm, id, n int) *Machine {
-	m := &Machine{
-		id:      id,
-		alg:     alg,
-		actions: make(chan Action),
-		tossIn:  make(chan int64),
-		respIn:  make(chan shmem.Response),
-		quit:    make(chan struct{}),
-		hist:    fnv.New64a(),
-	}
-	env := &Env{id: id, n: n, m: m}
-	m.wg.Add(1)
-	go m.run(env)
-	return m
+	return StartEngine(alg, id, n, DefaultEngine())
 }
+
+// ID returns the process identifier.
+func (m *Machine) ID() int { return m.id }
+
+// EngineName reports which engine is driving this machine: "goroutine" or
+// "vm".
+func (m *Machine) EngineName() string { return m.engine }
 
 // DisableHistory turns off history-key maintenance for this machine. Pure
 // measurement runs (step-count sweeps over large n) use it to avoid paying
@@ -237,79 +256,12 @@ func Start(alg Algorithm, id, n int) *Machine {
 // CheckIndist must keep history enabled. Call before the first Peek.
 func (m *Machine) DisableHistory() { m.noHistory = true }
 
-// record folds an event into the history digest.
-func (m *Machine) record(format string, args ...any) {
-	if m.noHistory {
-		return
-	}
-	m.events++
-	fmt.Fprintf(m.hist, format, args...)
-}
-
-func (m *Machine) run(env *Env) {
-	defer m.wg.Done()
-	var final Action
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, killed := r.(killedSentinel); killed {
-					final = Action{} // swallowed; no final action published
-					return
-				}
-				final = Action{Kind: ActCrash, Ret: fmt.Sprintf("panic: %v", r)}
-			}
-		}()
-		ret := m.alg.Run(env)
-		final = Action{Kind: ActReturn, Ret: ret}
-	}()
-	if final.Kind == 0 {
-		return // killed
-	}
-	select {
-	case m.actions <- final:
-	case <-m.quit:
-	}
-}
-
-// yieldToss publishes a pending toss and blocks for its outcome.
-func (m *Machine) yieldToss() int64 {
-	select {
-	case m.actions <- Action{Kind: ActToss}:
-	case <-m.quit:
-		panic(killedSentinel{})
-	}
-	select {
-	case v := <-m.tossIn:
-		return v
-	case <-m.quit:
-		panic(killedSentinel{})
-	}
-}
-
-// yieldOp publishes a pending shared-memory op and blocks for its response.
-func (m *Machine) yieldOp(op shmem.Op) shmem.Response {
-	select {
-	case m.actions <- Action{Kind: ActOp, Op: op}:
-	case <-m.quit:
-		panic(killedSentinel{})
-	}
-	select {
-	case r := <-m.respIn:
-		return r
-	case <-m.quit:
-		panic(killedSentinel{})
-	}
-}
-
-// ID returns the process identifier.
-func (m *Machine) ID() int { return m.id }
-
 // Peek blocks until the machine's next pending action is available and
 // returns it without consuming it. After the machine terminates (or
 // crashes), Peek keeps returning the final action.
 func (m *Machine) Peek() Action {
-	if m.pending != nil {
-		return *m.pending
+	if m.hasPending {
+		return m.pending
 	}
 	if m.done {
 		if m.crash != nil {
@@ -317,20 +269,21 @@ func (m *Machine) Peek() Action {
 		}
 		return Action{Kind: ActReturn, Ret: m.ret}
 	}
-	a := <-m.actions
+	a := m.drv.next()
 	switch a.Kind {
 	case ActReturn:
 		m.done = true
 		m.ret = a.Ret
-		m.record("return %v;", a.Ret)
+		m.recordReturn(a.Ret)
 		return a
 	case ActCrash:
 		m.done = true
 		m.crash = fmt.Errorf("%v", a.Ret)
-		m.record("crash %v;", a.Ret)
+		m.recordCrash(a.Ret)
 		return a
 	default:
-		m.pending = &a
+		m.pending = a
+		m.hasPending = true
 		return a
 	}
 }
@@ -342,10 +295,10 @@ func (m *Machine) DeliverToss(outcome int64) {
 	if a.Kind != ActToss {
 		panic(fmt.Sprintf("machine %d: DeliverToss but pending action is %v", m.id, a.Kind))
 	}
-	m.pending = nil
+	m.hasPending = false
 	m.numTosses++
-	m.record("toss=%d;", outcome)
-	m.tossIn <- outcome
+	m.recordToss(outcome)
+	m.drv.toss(outcome)
 }
 
 // DeliverOpResponse consumes a pending ActOp with the given response.
@@ -355,10 +308,10 @@ func (m *Machine) DeliverOpResponse(r shmem.Response) {
 	if a.Kind != ActOp {
 		panic(fmt.Sprintf("machine %d: DeliverOpResponse but pending action is %v", m.id, a.Kind))
 	}
-	m.pending = nil
+	m.hasPending = false
 	m.steps++
-	m.record("%v->%v;", a.Op, r)
-	m.respIn <- r
+	m.recordOp(a.Op, r)
+	m.drv.resp(r)
 }
 
 // Terminated reports whether the process has reached a termination state.
@@ -380,16 +333,16 @@ func (m *Machine) NumTosses() int { return m.numTosses }
 func (m *Machine) Steps() int { return m.steps }
 
 // HistoryKey returns a digest of everything the process has observed and
-// emitted so far (event count plus a 64-bit FNV-1a hash of the rendered
-// event stream). Equal histories imply equal local states, so HistoryKey
-// equality is the operational state equality of Lemma 5.2; the digest makes
-// the comparison O(1) per round instead of quadratic in run length. It
-// returns "disabled" after DisableHistory.
+// emitted so far (event count plus a 64-bit FNV-1a hash of the injectively
+// encoded event stream; see digest.go). Equal histories imply equal local
+// states, so HistoryKey equality is the operational state equality of
+// Lemma 5.2; the digest makes the comparison O(1) per round instead of
+// quadratic in run length. It returns "disabled" after DisableHistory.
 func (m *Machine) HistoryKey() string {
 	if m.noHistory {
 		return "disabled"
 	}
-	return fmt.Sprintf("ev%d:%016x", m.events, m.hist.Sum64())
+	return fmt.Sprintf("ev%d:%016x", m.events, m.dig.sum)
 }
 
 // HistoryDigest returns the raw components of HistoryKey — the event count
@@ -401,29 +354,25 @@ func (m *Machine) HistoryDigest() (events int, sum uint64, enabled bool) {
 	if m.noHistory {
 		return 0, 0, false
 	}
-	return m.events, m.hist.Sum64(), true
+	return m.events, m.dig.sum, true
 }
 
-// Close abandons the machine: the underlying goroutine is unwound and
+// Close abandons the machine: any underlying goroutine is unwound and
 // reclaimed. Close is idempotent and must be called (directly or via a
 // runner) for every started machine.
-func (m *Machine) Close() {
-	m.closeOnce.Do(func() {
-		close(m.quit)
-		// Drain a possibly in-flight action so the body's send completes.
-		select {
-		case <-m.actions:
-		default:
-		}
-		m.wg.Wait()
-	})
+func (m *Machine) Close() { m.drv.close() }
+
+// StartAll starts machines for processes 0..n-1 of alg under the default
+// engine.
+func StartAll(alg Algorithm, n int) []*Machine {
+	return StartAllEngine(alg, n, DefaultEngine())
 }
 
-// StartAll starts machines for processes 0..n-1 of alg.
-func StartAll(alg Algorithm, n int) []*Machine {
+// StartAllEngine starts machines for processes 0..n-1 of alg under eng.
+func StartAllEngine(alg Algorithm, n int, eng Engine) []*Machine {
 	ms := make([]*Machine, n)
 	for i := 0; i < n; i++ {
-		ms[i] = Start(alg, i, n)
+		ms[i] = StartEngine(alg, i, n, eng)
 	}
 	return ms
 }

@@ -1,0 +1,30 @@
+package shmem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendFingerprint appends a compact binary rendering of the register-file
+// state to dst: a uvarint register count, then per touched register (in
+// increasing index order) a uvarint index, the length-prefixed %v rendering
+// of the value, and the canonical Pset bitset words (PidBits.AppendBinary).
+// The count prefix makes the block self-delimiting, so callers can
+// concatenate it with other key material without separators.
+//
+// This is the simulated-memory twin of llsc.Memory.AppendFingerprint, with
+// the same encoding; the differential-testing harness (package lockstep)
+// folds it into its exhaustive-search memoization keys, and compares the
+// fingerprints of the two engines' memories directly.
+func (m *Memory) AppendFingerprint(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.touched)))
+	for _, i := range m.touched {
+		r := m.regs[i]
+		dst = binary.AppendUvarint(dst, uint64(i))
+		m.fpScratch = fmt.Appendf(m.fpScratch[:0], "%v", r.val)
+		dst = binary.AppendUvarint(dst, uint64(len(m.fpScratch)))
+		dst = append(dst, m.fpScratch...)
+		dst = r.pset.AppendBinary(dst)
+	}
+	return dst
+}

@@ -184,6 +184,8 @@ type Memory struct {
 	maxPid    int
 	trackBits bool
 	maxBits   int
+	// fpScratch is the reused value-rendering buffer of AppendFingerprint.
+	fpScratch []byte
 }
 
 // Option configures a Memory.

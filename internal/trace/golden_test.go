@@ -19,6 +19,11 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden trace files")
 // algorithm at small n: a committed canonical trace per algorithm. Any
 // accidental change to phase ordering, UP bookkeeping, or the step
 // renderer shows up as a diff naming the first divergent round.
+//
+// Every case runs twice, once on each execution engine: the wakeup
+// algorithms all carry compiled chunks, so the bytecode VM must reproduce
+// the goroutine interpreter's trace byte for byte. (-update regenerates
+// from the goroutine engine and then checks the VM against the result.)
 func TestGoldenTraces(t *testing.T) {
 	cases := []struct {
 		alg  machine.Algorithm
@@ -31,24 +36,26 @@ func TestGoldenTraces(t *testing.T) {
 		{wakeup.DoubleRegister(), 4, 0, "double_register_n4.json"},
 		{wakeup.MoveCourier(), 4, 0, "move_courier_n4.json"},
 	}
+	engines := []machine.Engine{machine.EngineGoroutine, machine.EngineVM}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.file, func(t *testing.T) {
 			golden := filepath.Join("testdata", tc.file)
-			got := capture(t, tc.alg, tc.n, tc.seed)
-			data, err := got.MarshalIndent()
-			if err != nil {
-				t.Fatal(err)
-			}
-			data = append(data, '\n')
 			if *updateGolden {
+				prev := machine.SetDefaultEngine(machine.EngineGoroutine)
+				got := capture(t, tc.alg, tc.n, tc.seed)
+				machine.SetDefaultEngine(prev)
+				data, err := got.MarshalIndent()
+				if err != nil {
+					t.Fatal(err)
+				}
+				data = append(data, '\n')
 				if err := os.MkdirAll("testdata", 0o755); err != nil {
 					t.Fatal(err)
 				}
 				if err := os.WriteFile(golden, data, 0o644); err != nil {
 					t.Fatal(err)
 				}
-				return
 			}
 			want, err := os.ReadFile(golden)
 			if err != nil {
@@ -58,13 +65,25 @@ func TestGoldenTraces(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			// Semantic diff first: it pinpoints the first divergent round.
-			if d := Diff(wantTrace, got); d != "" {
-				t.Fatalf("schedule changed vs golden (regenerate with -update if intentional): %s", d)
-			}
-			// Then bytes, so even renderer-invisible churn is caught.
-			if string(normalize(want)) != string(normalize(data)) {
-				t.Fatalf("%s: serialized trace differs from golden despite semantic equality", tc.file)
+			for _, eng := range engines {
+				t.Run(eng.String(), func(t *testing.T) {
+					prev := machine.SetDefaultEngine(eng)
+					defer machine.SetDefaultEngine(prev)
+					got := capture(t, tc.alg, tc.n, tc.seed)
+					data, err := got.MarshalIndent()
+					if err != nil {
+						t.Fatal(err)
+					}
+					data = append(data, '\n')
+					// Semantic diff first: it pinpoints the first divergent round.
+					if d := Diff(wantTrace, got); d != "" {
+						t.Fatalf("schedule changed vs golden (regenerate with -update if intentional): %s", d)
+					}
+					// Then bytes, so even renderer-invisible churn is caught.
+					if string(normalize(want)) != string(normalize(data)) {
+						t.Fatalf("%s [%s]: serialized trace differs from golden despite semantic equality", tc.file, eng)
+					}
+				})
 			}
 		})
 	}

@@ -104,7 +104,7 @@ func DecodeBits(v shmem.Value, dst shmem.PidBits) shmem.PidBits {
 // adversary in fact forces Θ(n): in its lockstep rounds only the smallest
 // linked pid succeeds each round.
 func SetRegister() machine.Algorithm {
-	return machine.New("wakeup/set-register", func(e *machine.Env) shmem.Value {
+	return machine.NewCompiled("wakeup/set-register", func(e *machine.Env) shmem.Value {
 		var set shmem.PidBits
 		for {
 			set = DecodeBits(e.LL(setReg), set)
@@ -117,7 +117,7 @@ func SetRegister() machine.Algorithm {
 				return 0
 			}
 		}
-	})
+	}, setRegisterChunk)
 }
 
 // DoubleRegister returns the randomized variant: each process tosses a coin
@@ -129,7 +129,7 @@ func SetRegister() machine.Algorithm {
 // algorithm terminates with probability 1 (indeed always), so the
 // randomized bound of Theorem 6.1 applies with c = 1.
 func DoubleRegister() machine.Algorithm {
-	return machine.New("wakeup/double-register", func(e *machine.Env) shmem.Value {
+	return machine.NewCompiled("wakeup/double-register", func(e *machine.Env) shmem.Value {
 		reg := int(e.Toss()) & 1
 		var set shmem.PidBits
 		for {
@@ -145,7 +145,7 @@ func DoubleRegister() machine.Algorithm {
 			return 1
 		}
 		return 0
-	})
+	}, doubleRegisterChunk)
 }
 
 // Cheater returns the deliberately incorrect algorithm: each process
@@ -154,10 +154,10 @@ func DoubleRegister() machine.Algorithm {
 // is exhibited by core.CatchFastWakeup: in the ({p},A)-run the winner still
 // returns 1 although no other process ever takes a step.
 func Cheater() machine.Algorithm {
-	return machine.New("wakeup/cheater", func(e *machine.Env) shmem.Value {
+	return machine.NewCompiled("wakeup/cheater", func(e *machine.Env) shmem.Value {
 		e.Swap(e.ID(), 1)
 		return 1
-	})
+	}, cheaterChunk)
 }
 
 // MoveCourier is a correct wakeup algorithm that exercises move and swap:
@@ -173,7 +173,7 @@ func MoveCourier() machine.Algorithm {
 		acc   = 0 // LL/SC set register
 	)
 	ownReg := func(pid int) int { return 10 + pid }
-	return machine.New("wakeup/move-courier", func(e *machine.Env) shmem.Value {
+	return machine.NewCompiled("wakeup/move-courier", func(e *machine.Env) shmem.Value {
 		// Publish own id.
 		var own shmem.PidBits
 		own.Add(e.ID())
@@ -200,5 +200,5 @@ func MoveCourier() machine.Algorithm {
 		// One last look: the set register may have completed meanwhile;
 		// but only claim victory if we were the completing writer.
 		return 0
-	})
+	}, moveCourierChunk)
 }
