@@ -18,11 +18,11 @@ BENCH_SHA ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo local)
 # exploration hot paths this codebase optimizes for, kept quick enough
 # for CI. Timing diffs only gate when baseline and current ran on the
 # same CPU model; allocation and paper-level metrics always gate.
-HOTPATH_BENCH ?= E1WakeupForcedSteps|ShmemLLSC|PsetChurn|ValuesEqual|MaxSteps|LLSCFingerprint|ExhaustiveExplore|MachineStep|VMStep
+HOTPATH_BENCH ?= E1WakeupForcedSteps|ShmemLLSC|PsetChurn|ValuesEqual|MaxSteps|LLSCFingerprint|ExhaustiveExplore|MachineStep|VMStep|CampaignExec
 # Committed baseline artifact to diff against (first BENCH_*.json here).
 BENCH_BASELINE ?= $(firstword $(wildcard BENCH_*.json))
 
-.PHONY: build vet test race check smoke serve-smoke dist-smoke bench bench-json bench-compare profile report mutation cover fuzz-short vm-equivalence explore-smoke ci
+.PHONY: build vet test race check smoke serve-smoke dist-smoke campaign-smoke bench bench-json bench-compare profile report mutation cover fuzz-short vm-equivalence explore-smoke ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,13 @@ serve-smoke:
 # local no-worker run.
 dist-smoke:
 	./scripts/dist_smoke.sh
+
+# Smoke the campaign subsystem end to end (-tags mutation): 1 server + 2
+# workers hunt the seeded group-update bug, one worker is SIGKILLed
+# mid-campaign, the shrunk finding must replay bit-for-bit, and the
+# campaign must survive a server restart with its corpus intact.
+campaign-smoke:
+	./scripts/campaign_smoke.sh
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .
@@ -87,7 +94,7 @@ report:
 # Prove the schedule explorer detects real bugs: the deliberately broken
 # construction behind the mutation tag must be caught, shrunk, and replayed.
 mutation:
-	$(GO) test -tags mutation ./internal/explore/ ./internal/universal/
+	$(GO) test -tags mutation ./internal/explore/ ./internal/universal/ ./internal/campaign/
 
 # Coverage gate: fail if internal/... statement coverage drops below
 # COVER_MIN percent.

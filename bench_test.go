@@ -6,11 +6,13 @@ package jayanti98_test
 // recorded in EXPERIMENTS.md alongside wall-clock costs.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"testing"
 
+	"jayanti98/internal/campaign"
 	"jayanti98/internal/core"
 	"jayanti98/internal/explore"
 	"jayanti98/internal/linz"
@@ -534,4 +536,33 @@ func BenchmarkExhaustiveExplore(b *testing.B) {
 		runs += rep.Runs
 	}
 	b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/sec")
+}
+
+// BenchmarkCampaignExec measures campaign-round execution throughput —
+// the coverage-guided hot path (guided runs with state-digest tracing,
+// corpus mutation, slot-order folds) that a long-lived campaign spends
+// its life in. One iteration executes and folds a full 32-input round
+// over the group-update construction. The execs/sec metric is the
+// paper-level throughput bench-compare gates on.
+func BenchmarkCampaignExec(b *testing.B) {
+	spec := campaign.Spec{
+		Alg: "group-update", Object: "fetch-increment", N: 2, BatchSize: 32, MaxCorpus: 16,
+	}
+	spec.Normalize()
+	st := campaign.NewState(spec)
+	var execs int64
+	for i := 0; i < b.N; i++ {
+		rr, err := campaign.ExecuteRound(context.Background(), st.NextRound(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.ApplyRound(rr); err != nil {
+			b.Fatal(err)
+		}
+		execs += int64(spec.BatchSize)
+	}
+	if st.Corpus.Len() == 0 {
+		b.Fatal("campaign rounds kept no corpus entries")
+	}
+	b.ReportMetric(float64(execs)/b.Elapsed().Seconds(), "execs/sec")
 }

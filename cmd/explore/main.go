@@ -18,12 +18,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"jayanti98/internal/explore"
 	"jayanti98/internal/machine"
@@ -70,7 +73,13 @@ func main() {
 		machine.SetDefaultEngine(eng)
 	}
 
-	foundFailure, err := run(os.Stdout, opts)
+	// SIGINT/SIGTERM cancel the search context: in-flight samples stop
+	// dispatching and any running shrink (explore.ShrinkCtx) returns its
+	// best schedule so far instead of minimizing to a fixpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	foundFailure, err := run(ctx, os.Stdout, opts)
 	if err != nil {
 		log.Print(err)
 		os.Exit(2)
@@ -81,7 +90,7 @@ func main() {
 }
 
 // run executes one invocation, reporting whether a failure was found.
-func run(w io.Writer, opts options) (bool, error) {
+func run(ctx context.Context, w io.Writer, opts options) (bool, error) {
 	if opts.Replay != "" {
 		return runReplay(w, opts.Replay)
 	}
@@ -94,7 +103,7 @@ func run(w io.Writer, opts options) (bool, error) {
 	}
 	switch opts.Mode {
 	case "exhaustive":
-		rep, err := explore.Exhaustive(cfg, opts.Parallel)
+		rep, err := explore.ExhaustiveCtx(ctx, cfg, opts.Parallel)
 		if err != nil {
 			return false, err
 		}
@@ -110,7 +119,7 @@ func run(w io.Writer, opts options) (bool, error) {
 		}
 		return true, nil
 	case "fuzz":
-		rep, err := explore.Fuzz(cfg, explore.FuzzOptions{
+		rep, err := explore.FuzzCtx(ctx, cfg, explore.FuzzOptions{
 			Samples: opts.Samples,
 			Seed:    opts.Seed,
 			Workers: opts.Parallel,

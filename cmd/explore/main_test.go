@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestRunExhaustiveClean(t *testing.T) {
 	var b strings.Builder
-	found, err := run(&b, options{Alg: "central", Object: "fetch-increment", N: 2, K: 1, Mode: "exhaustive"})
+	found, err := run(context.Background(), &b, options{Alg: "central", Object: "fetch-increment", N: 2, K: 1, Mode: "exhaustive"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestRunFuzzWritesReplayAndReplays(t *testing.T) {
 	dir := t.TempDir()
 	var b strings.Builder
 	// A tiny budget manufactures a real failure on a correct construction.
-	found, err := run(&b, options{Alg: "central", Object: "fetch-increment", N: 2, K: 1,
+	found, err := run(context.Background(), &b, options{Alg: "central", Object: "fetch-increment", N: 2, K: 1,
 		Mode: "fuzz", Samples: 1, Seed: 5, Budget: 2, Out: dir})
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +45,7 @@ func TestRunFuzzWritesReplayAndReplays(t *testing.T) {
 	}
 
 	var rb strings.Builder
-	found, err = run(&rb, options{Replay: files[0]})
+	found, err = run(context.Background(), &rb, options{Replay: files[0]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestRunFuzzWritesReplayAndReplays(t *testing.T) {
 
 func TestRunRejectsUnknownMode(t *testing.T) {
 	var b strings.Builder
-	if _, err := run(&b, options{Alg: "central", Object: "fetch-increment", N: 2, K: 1, Mode: "bogus"}); err == nil {
+	if _, err := run(context.Background(), &b, options{Alg: "central", Object: "fetch-increment", N: 2, K: 1, Mode: "bogus"}); err == nil {
 		t.Fatal("unknown mode must error")
 	}
 }

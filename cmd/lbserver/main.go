@@ -11,12 +11,23 @@
 // merged result is byte-identical to an in-process run, and with no
 // workers polling every job simply runs locally.
 //
+// Long-lived coverage-guided exploration campaigns (internal/campaign)
+// run on top of the job service: each campaign round is submitted as a
+// job (so rounds are cached, deduplicated, and distributed like any
+// other work), campaign state is checkpointed into the cache directory,
+// and a restarted server resumes every checkpointed campaign from its
+// last corpus snapshot.
+//
 //	POST   /v1/jobs             submit a spec (idempotent on content hash)
 //	GET    /v1/jobs/{id}        status, progress, result
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/jobs/{id}/events NDJSON progress stream
 //	GET    /v1/jobs             list jobs (?status= filters)
+//	GET    /v1/jobs/{id}/events NDJSON progress stream
 //	GET    /v1/cache/stats      result-cache counters
+//	POST   /v1/campaigns        start a campaign (idempotent on content hash)
+//	GET    /v1/campaigns        list campaigns with live stats
+//	GET    /v1/campaigns/{id}   one campaign's stats and findings
+//	DELETE /v1/campaigns/{id}   stop a campaign (state is checkpointed)
 //	POST   /v1/shards/lease     lbworker pull protocol: lease a shard
 //	POST   /v1/shards/{id}/result    upload a shard payload (content-hashed)
 //	POST   /v1/shards/{id}/heartbeat extend a shard lease
@@ -52,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"jayanti98/internal/campaign"
 	"jayanti98/internal/dist"
 	"jayanti98/internal/jobs"
 	"jayanti98/internal/obs"
@@ -71,6 +83,9 @@ type options struct {
 	dist         bool
 	leaseTTL     time.Duration
 	distShards   int
+
+	findingsDir     string
+	checkpointEvery int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -90,6 +105,8 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&opts.dist, "dist", true, "offer shardable jobs to polling lbworkers (jobs run locally when no workers poll)")
 	fs.DurationVar(&opts.leaseTTL, "lease-ttl", 15*time.Second, "shard lease lifetime without a heartbeat before re-lease")
 	fs.IntVar(&opts.distShards, "dist-shards", 8, "maximum shards one job is split into")
+	fs.StringVar(&opts.findingsDir, "campaign-findings", "", "directory for campaign finding replay files (empty: findings only in stats)")
+	fs.IntVar(&opts.checkpointEvery, "campaign-checkpoint-every", 1, "checkpoint campaign state every N rounds")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -148,7 +165,7 @@ func publishVars() {
 // /metrics, /debug/traces, /debug/pprof, /debug/vars — and wraps
 // everything in the obs middleware (per-route metrics, request spans,
 // request log lines).
-func newMux(s *jobs.Scheduler, coord *dist.Coordinator, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) http.Handler {
+func newMux(s *jobs.Scheduler, coord *dist.Coordinator, mgr *campaign.Manager, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) http.Handler {
 	activeScheduler.Store(s)
 	publishVars()
 	mux := http.NewServeMux()
@@ -156,6 +173,9 @@ func newMux(s *jobs.Scheduler, coord *dist.Coordinator, reg *obs.Registry, trace
 	mux.Handle("/", jobsMux)
 	if coord != nil {
 		coord.RegisterRoutes(mux)
+	}
+	if mgr != nil {
+		campaign.RegisterRoutes(mux, mgr)
 	}
 	mux.Handle("GET /metrics", obs.MetricsHandler(reg))
 	mux.Handle("GET /debug/traces", obs.TracesHandler(tracer))
@@ -213,6 +233,20 @@ func newScheduler(opts options, coord *dist.Coordinator, reg *obs.Registry, trac
 	return jobs.NewScheduler(jopts)
 }
 
+// resumeCampaigns restarts every campaign the previous server life
+// checkpointed into the cache directory. A record that no longer
+// decodes (version skew, manual tampering) is logged and skipped — one
+// bad checkpoint must not keep the server from booting.
+func resumeCampaigns(sched *jobs.Scheduler, mgr *campaign.Manager, logger *slog.Logger) {
+	for _, id := range sched.Cache().Checkpoints() {
+		if _, err := mgr.Resume(id); err != nil {
+			logger.Warn("campaign resume", "campaign_id", obs.ShortID(id), "error", err.Error())
+			continue
+		}
+		logger.Info("campaign resumed", "campaign_id", obs.ShortID(id))
+	}
+}
+
 func main() {
 	opts, err := parseFlags(os.Args[1:])
 	if err != nil {
@@ -227,7 +261,17 @@ func main() {
 		logger.Error("startup", "error", err.Error())
 		os.Exit(1)
 	}
-	srv := &http.Server{Addr: opts.addr, Handler: newMux(sched, coord, reg, tracer, logger)}
+	mgr := campaign.NewManager(campaign.ManagerOptions{
+		Executor:        jobs.NewRoundExecutor(sched),
+		Checkpointer:    sched.Cache(),
+		FindingsDir:     opts.findingsDir,
+		CheckpointEvery: opts.checkpointEvery,
+		Obs:             reg,
+		Tracer:          tracer,
+		Logger:          logger,
+	})
+	resumeCampaigns(sched, mgr, logger)
+	srv := &http.Server{Addr: opts.addr, Handler: newMux(sched, coord, mgr, reg, tracer, logger)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -249,6 +293,12 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
 		logger.Error("http shutdown", "error", err.Error())
+	}
+	// Campaigns before the scheduler: each campaign writes its final
+	// checkpoint and releases its in-flight round job before the worker
+	// pool drains.
+	if err := mgr.Shutdown(shCtx); err != nil {
+		logger.Error("campaign shutdown", "error", err.Error())
 	}
 	if err := sched.Shutdown(shCtx); err != nil {
 		logger.Error("scheduler shutdown", "error", err.Error())

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"jayanti98/internal/campaign"
 	"jayanti98/internal/jobs"
 	"jayanti98/internal/obs"
 )
@@ -68,14 +69,24 @@ func newTestServer(t *testing.T, opts options) (*jobs.Scheduler, *httptest.Serve
 	if err != nil {
 		t.Fatal(err)
 	}
+	mgr := campaign.NewManager(campaign.ManagerOptions{
+		Executor:     jobs.NewRoundExecutor(sched),
+		Checkpointer: sched.Cache(),
+		Obs:          reg,
+		Tracer:       tracer,
+		Logger:       logger,
+	})
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			t.Errorf("campaign shutdown: %v", err)
+		}
 		if err := sched.Shutdown(ctx); err != nil {
 			t.Errorf("shutdown: %v", err)
 		}
 	})
-	srv := httptest.NewServer(newMux(sched, coord, reg, tracer, logger))
+	srv := httptest.NewServer(newMux(sched, coord, mgr, reg, tracer, logger))
 	t.Cleanup(srv.Close)
 	return sched, srv, reg, tracer, &logBuf
 }
@@ -242,7 +253,7 @@ func TestNewMuxIdempotentExpvars(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv := httptest.NewServer(newMux(sched, nil, reg, tracer, logger))
+		srv := httptest.NewServer(newMux(sched, nil, nil, reg, tracer, logger))
 		for _, path := range []string{"/debug/vars", "/metrics"} {
 			resp, err := http.Get(srv.URL + path)
 			if err != nil {

@@ -11,6 +11,15 @@
 // The worker is stateless: all ordering, retry bookkeeping, and merge
 // logic lives on the coordinator. Stopping a worker (SIGINT/SIGTERM) is
 // always safe.
+//
+// Campaign mode needs no flags: when the server runs coverage-guided
+// campaigns (internal/campaign), each round arrives here as leased
+// campaign-round shards like any other shardable job. The round spec
+// inside the lease carries the frozen round-start corpus, so a freshly
+// joined replica is coverage-synchronized by its first grant, and a
+// SIGKILLed replica's slots are simply re-leased — the round result, and
+// therefore the corpus evolution, is byte-identical regardless of fleet
+// size or churn.
 package main
 
 import (

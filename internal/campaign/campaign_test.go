@@ -1,0 +1,275 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"jayanti98/internal/machine"
+)
+
+func testSpec() *Spec {
+	return &Spec{
+		Alg:       "group-update",
+		Object:    "fetch-increment",
+		N:         2,
+		BatchSize: 16,
+		MaxCorpus: 8,
+	}
+}
+
+func TestSpecNormalizeAndID(t *testing.T) {
+	sparse := &Spec{}
+	id1, err := sparse.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalization makes the sparse spec and its explicit-defaults twin the
+	// same campaign.
+	explicit := &Spec{
+		Alg: "group-update", Object: "fetch-increment", N: 2, OpsPerProc: 1,
+		Seed: 1, TossRange: 2, BatchSize: 64, MaxCorpus: 32,
+	}
+	id2, err := explicit.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("sparse and explicit spec IDs differ: %s vs %s", id1, id2)
+	}
+	if len(id1) != 64 {
+		t.Fatalf("ID is not a sha256 hex digest: %q", id1)
+	}
+	// Any identity-bearing field changes the ID.
+	other := &Spec{Seed: 2}
+	id3, err := other.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 {
+		t.Fatal("different seeds, same campaign ID")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Alg: "no-such-construction"},
+		{Object: "no-such-workload"},
+		{N: 1},
+		{N: 9},
+		{OpsPerProc: 99},
+		{Budget: -1},
+		{TossRange: -3},
+		{BatchSize: 5000},
+		{MaxCorpus: 2000},
+		{MaxRounds: -1},
+	}
+	for i, s := range bad {
+		s := s
+		s.Normalize()
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated: %+v", i, s)
+		}
+	}
+	good := testSpec()
+	good.Normalize()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+}
+
+func TestCorpusAddEvictsOldest(t *testing.T) {
+	var c Corpus
+	for i := 0; i < 5; i++ {
+		c.Add(Entry{Schedule: []int{i}, Round: 0, Slot: i}, 3)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if got := c.Schedules(); !reflect.DeepEqual(got, [][]int{{2}, {3}, {4}}) {
+		t.Fatalf("kept schedules = %v", got)
+	}
+}
+
+func TestCorpusDigestCanonical(t *testing.T) {
+	var a, b Corpus
+	for i := 0; i < 3; i++ {
+		a.Add(Entry{Schedule: []int{i, i}, Round: 1, Slot: i, NewDigests: 1}, 8)
+		b.Add(Entry{Schedule: []int{i, i}, Round: 1, Slot: i, NewDigests: 1}, 8)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal corpora, different digests")
+	}
+	b.Add(Entry{Schedule: []int{9}}, 8)
+	if a.Digest() == b.Digest() {
+		t.Fatal("different corpora, same digest")
+	}
+}
+
+// runRounds executes k rounds serially through a fresh state and returns it.
+func runRounds(t *testing.T, spec *Spec, k, parallel int) *State {
+	t.Helper()
+	spec.Normalize()
+	st := NewState(*spec)
+	for r := 0; r < k; r++ {
+		rr, err := ExecuteRound(context.Background(), st.NextRound(), parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.ApplyRound(rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestCampaignDeterministic is the headline determinism property: two full
+// runs of the same spec — at different parallelism — evolve identical
+// corpora and coverage.
+func TestCampaignDeterministic(t *testing.T) {
+	a := runRounds(t, testSpec(), 3, 1)
+	b := runRounds(t, testSpec(), 3, 4)
+	if a.Corpus.Digest() != b.Corpus.Digest() {
+		t.Fatal("corpus digests diverged across parallelism")
+	}
+	if a.CoverageDigest() != b.CoverageDigest() {
+		t.Fatal("coverage digests diverged across parallelism")
+	}
+	if a.Execs != b.Execs || a.TotalSteps != b.TotalSteps {
+		t.Fatalf("counters diverged: %+v vs %+v", a, b)
+	}
+	if a.Corpus.Len() == 0 {
+		t.Fatal("3 rounds kept nothing — novelty detection is broken")
+	}
+}
+
+// TestCampaignEngineIndependent: the corpus a campaign evolves on the
+// bytecode VM is the corpus it evolves on the goroutine engine — the
+// coverage digests are engine-independent, so replicas may mix engines.
+func TestCampaignEngineIndependent(t *testing.T) {
+	digests := make(map[machine.Engine]string)
+	for _, eng := range []machine.Engine{machine.EngineGoroutine, machine.EngineVM} {
+		prev := machine.SetDefaultEngine(eng)
+		st := runRounds(t, testSpec(), 2, 2)
+		machine.SetDefaultEngine(prev)
+		digests[eng] = st.Corpus.Digest()
+	}
+	if digests[machine.EngineGoroutine] != digests[machine.EngineVM] {
+		t.Fatal("corpus evolution differs between engines")
+	}
+}
+
+// TestExecuteRoundSliceMerge is the dist merge property at the campaign
+// layer: any partition of the round's slots, concatenated in order, equals
+// the unsliced round.
+func TestExecuteRoundSliceMerge(t *testing.T) {
+	spec := testSpec()
+	spec.Normalize()
+	st := runRounds(t, spec, 1, 2) // one round so the corpus is non-empty
+	rs := st.NextRound()
+	whole, err := ExecuteRound(context.Background(), rs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cuts := range [][]int{{8}, {1, 5, 9}, {4, 8, 12}} {
+		var merged []InputResult
+		lo := 0
+		for _, hi := range append(cuts, spec.BatchSize) {
+			part, err := ExecuteRoundSlice(context.Background(), rs, lo, hi, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged = append(merged, part...)
+			lo = hi
+		}
+		if !reflect.DeepEqual(merged, whole.Results) {
+			t.Fatalf("sliced execution at cuts %v diverged from the whole round", cuts)
+		}
+	}
+}
+
+func TestExecuteRoundSliceRejectsBadRange(t *testing.T) {
+	spec := testSpec()
+	spec.Normalize()
+	rs := &RoundSpec{Campaign: *spec}
+	for _, r := range [][2]int{{-1, 4}, {0, spec.BatchSize + 1}, {4, 4}, {5, 2}} {
+		if _, err := ExecuteRoundSlice(context.Background(), rs, r[0], r[1], 1); err == nil {
+			t.Errorf("range [%d, %d) accepted", r[0], r[1])
+		}
+	}
+}
+
+func TestApplyRoundValidation(t *testing.T) {
+	spec := testSpec()
+	spec.Normalize()
+	st := NewState(*spec)
+	if _, err := st.ApplyRound(&RoundResult{Round: 3}); err == nil {
+		t.Fatal("wrong round number accepted")
+	}
+	if _, err := st.ApplyRound(&RoundResult{Round: 0, Results: make([]InputResult, 2)}); err == nil {
+		t.Fatal("wrong result count accepted")
+	}
+}
+
+// TestCheckpointRoundTrip: a state resumed from its checkpoint continues
+// byte-identically to the uninterrupted run.
+func TestCheckpointRoundTrip(t *testing.T) {
+	spec := testSpec()
+	uninterrupted := runRounds(t, spec, 4, 2)
+
+	resumed := runRounds(t, testSpec(), 2, 2)
+	data, err := resumed.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecodeState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		rr, err := ExecuteRound(context.Background(), restored.NextRound(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.ApplyRound(rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finalA, err := uninterrupted.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalB, err := restored.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(finalA) != string(finalB) {
+		t.Fatalf("resumed state diverged from uninterrupted run:\n%s\nvs\n%s", finalA, finalB)
+	}
+}
+
+func TestDecodeStateRejectsGarbage(t *testing.T) {
+	if _, err := DecodeState([]byte("{not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := DecodeState([]byte(`{"spec":{"alg":"nope"}}`)); err == nil {
+		t.Fatal("invalid embedded spec decoded")
+	}
+}
+
+func TestRecordFindingDedupesAndCaps(t *testing.T) {
+	st := NewState(*testSpec())
+	f := Finding{Kind: "linearizability", Schedule: []int{0, 1}}
+	if !st.RecordFinding(f) {
+		t.Fatal("first finding rejected")
+	}
+	if st.RecordFinding(f) {
+		t.Fatal("duplicate finding accepted")
+	}
+	for i := 0; len(st.Findings) < MaxStoredFindings; i++ {
+		st.RecordFinding(Finding{Kind: "linearizability", Schedule: []int{i, i}})
+	}
+	if st.RecordFinding(Finding{Kind: "other", Schedule: []int{9, 9, 9}}) {
+		t.Fatal("finding accepted beyond the cap")
+	}
+}

@@ -1,0 +1,78 @@
+//go:build mutation
+
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"jayanti98/internal/explore"
+)
+
+// The mutation-tagged campaign test is the end-to-end hunting story: a
+// campaign pointed at the deliberately broken group-update variant
+// (universal.NewBrokenGroupUpdate, -tags mutation) must find the
+// linearizability violation within a few rounds, shrink it to a short
+// counterexample, persist a replay file, and that file must reproduce
+// bit-for-bit. Run with: go test -tags mutation ./internal/campaign/
+func TestCampaignFindsMutant(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(ManagerOptions{
+		Executor:     &LocalExecutor{Parallel: 4},
+		Checkpointer: newMemCheckpointer(),
+		FindingsDir:  dir,
+	})
+	defer m.Shutdown(context.Background())
+
+	spec := &Spec{
+		Alg:       explore.BrokenGroupUpdate,
+		Object:    "fetch-increment",
+		N:         2,
+		BatchSize: 64,
+		MaxRounds: 8,
+	}
+	view, _, err := m.Start(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, view.ID)
+	if final.Status == CampaignFailed {
+		t.Fatalf("campaign failed: %s", final.Error)
+	}
+	if len(final.Findings) == 0 {
+		t.Fatalf("%d rounds (%d execs, %d failing inputs seen) kept no finding",
+			final.Rounds, final.Execs, final.FindingsSeen)
+	}
+	f := final.Findings[0]
+	if f.Kind != string(explore.FailNonLinearizable) {
+		t.Fatalf("finding kind = %s (%s)", f.Kind, f.Detail)
+	}
+	if len(f.Schedule) > 20 {
+		t.Fatalf("shrunk schedule still has %d steps (want <= 20): %v", len(f.Schedule), f.Schedule)
+	}
+	if f.OriginalLen < len(f.Schedule) {
+		t.Fatalf("original length %d shorter than shrunk %d", f.OriginalLen, len(f.Schedule))
+	}
+	if f.Path == "" || !strings.HasPrefix(f.Path, dir) {
+		t.Fatalf("finding not persisted under %s: %q", dir, f.Path)
+	}
+
+	// The persisted replay reproduces the violation bit-for-bit.
+	rp, err := explore.ReadReplay(f.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, diff, err := explore.Verify(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != "" {
+		t.Fatalf("replay does not reproduce bit-for-bit: %s", diff)
+	}
+	if rec.Failure == nil || rec.Failure.Kind != explore.FailNonLinearizable {
+		t.Fatalf("replay failure: %+v", rec.Failure)
+	}
+	t.Logf("found in %d rounds: %s, schedule %v (shrunk from %d)",
+		final.Rounds, f.Kind, f.Schedule, f.OriginalLen)
+}

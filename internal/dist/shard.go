@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"jayanti98/internal/campaign"
 	"jayanti98/internal/explore"
 	"jayanti98/internal/jobs"
 	"jayanti98/internal/lowerbound"
@@ -36,7 +37,10 @@ import (
 // spec, and whether the spec is shardable at all. Report jobs (whole
 // experiments with interleaved rendering) and exhaustive exploration
 // (one shared DFS frontier) are not maps over independent coordinates,
-// so they always execute locally.
+// so they always execute locally. Campaign rounds shard over their input
+// slots: the round spec carries the frozen round-start corpus, so every
+// leased slice mutates from the same parents — the lease grant is the
+// corpus-sync channel between lbworker replicas.
 func Coords(spec *jobs.Spec) (int, bool) {
 	if spec == nil {
 		return 0, false
@@ -52,6 +56,11 @@ func Coords(spec *jobs.Spec) (int, bool) {
 			return 0, false
 		}
 		return spec.Explore.Samples, true
+	case jobs.KindCampaignRound:
+		if spec.CampaignRound == nil {
+			return 0, false
+		}
+		return spec.CampaignRound.Inputs(), true
 	default:
 		return 0, false
 	}
@@ -111,6 +120,12 @@ type fuzzShardPayload struct {
 	Failures   []jobs.ExploreFailure `json:"failures"`
 }
 
+// campaignShardPayload is the wire form of one campaign-round shard's
+// output: the input results of its slot range, in slot order.
+type campaignShardPayload struct {
+	Results []campaign.InputResult `json:"results"`
+}
+
 // ExecuteShard runs coordinates [r.Lo, r.Hi) of the spec and returns the
 // shard payload. parallel bounds the worker goroutines inside the shard
 // (sweep.Workers semantics); like every execution knob it cannot affect
@@ -127,6 +142,8 @@ func ExecuteShard(ctx context.Context, spec *jobs.Spec, r Range, parallel int) (
 	switch spec.Kind {
 	case jobs.KindSweep:
 		return executeSweepShard(ctx, spec.Sweep, r, parallel)
+	case jobs.KindCampaignRound:
+		return executeCampaignShard(ctx, spec.CampaignRound, r, parallel)
 	default:
 		return executeFuzzShard(ctx, spec.Explore, r, parallel)
 	}
@@ -184,6 +201,18 @@ func executeFuzzShard(ctx context.Context, spec *jobs.ExploreSpec, r Range, para
 	return json.Marshal(fuzzShardPayload{TotalSteps: rep.TotalSteps, Failures: failures})
 }
 
+// executeCampaignShard runs input slots [r.Lo, r.Hi) of a campaign round.
+// Every slot derives its seed from its global index and mutates from the
+// corpus frozen in the round spec, so the slice is independent of which
+// worker runs it — campaign.ExecuteRoundSlice's contract.
+func executeCampaignShard(ctx context.Context, rs *campaign.RoundSpec, r Range, parallel int) ([]byte, error) {
+	results, err := campaign.ExecuteRoundSlice(ctx, rs, r.Lo, r.Hi, parallel)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(campaignShardPayload{Results: results})
+}
+
 // Merge reassembles the shard payloads of a fully executed job — one per
 // Partition range, in range order — into the job result. The output is
 // byte-identical to jobs.Execute of the same spec: both paths feed the
@@ -214,6 +243,19 @@ func Merge(spec *jobs.Spec, ranges []Range, payloads [][]byte) ([]byte, error) {
 			return nil, err
 		}
 		return marshalPayload(res)
+	case jobs.KindCampaignRound:
+		results := make([]campaign.InputResult, 0, total)
+		for i, raw := range payloads {
+			var p campaignShardPayload
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, fmt.Errorf("dist: shard %d payload: %w", i, err)
+			}
+			if len(p.Results) != ranges[i].Len() {
+				return nil, fmt.Errorf("dist: shard %d has %d results, want %d", i, len(p.Results), ranges[i].Len())
+			}
+			results = append(results, p.Results...)
+		}
+		return marshalPayload(&campaign.RoundResult{Round: spec.CampaignRound.Round, Results: results})
 	default:
 		totalSteps := 0
 		failures := make([]jobs.ExploreFailure, 0)

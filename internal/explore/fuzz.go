@@ -100,11 +100,13 @@ func FuzzCtx(ctx context.Context, cfg Config, opt FuzzOptions) (*FuzzReport, err
 		// Reproduce with the recorded tosses, minimizing the schedule
 		// unless asked not to. The budget stays as configured so a
 		// budget-exhaustion failure reproduces under the same bound.
+		// Shrinking runs under the campaign context: a cancelled ctx cuts
+		// minimization short but still yields a failing schedule.
 		rcfg := cfg
 		rcfg.Tosses = replayTosses(rec.Tosses)
 		schedule := rec.Schedule
 		if !opt.NoShrink {
-			schedule = Shrink(rcfg, rec.Schedule, rec.Failure.Kind)
+			schedule = ShrinkCtx(ctx, rcfg, rec.Schedule, rec.Failure.Kind)
 		}
 		final, err := RunSchedule(rcfg, schedule)
 		if err != nil {

@@ -1,0 +1,80 @@
+package explore
+
+import "math/rand"
+
+// MutateSchedule derives a new schedule prefix from a corpus parent by
+// applying 1–3 random structural edits:
+//
+//   - truncate: drop a random suffix (coverage often lives in prefixes, and
+//     RunGuided extends every prefix with a fresh random walk anyway);
+//   - splice: duplicate a contiguous chunk at another position, modelling
+//     "replay this contention window again";
+//   - pid swap: rewrite every occurrence of one pid inside a window to
+//     another pid, moving a contention pattern onto a different process
+//     pair;
+//   - insert: add a single random step at a random position.
+//
+// The result is never empty, every entry is a pid in [0, n), and the parent
+// is not modified. The caller owns rng, so mutation streams are exactly as
+// deterministic as their seeds — which is what keeps campaign corpus
+// evolution reproducible.
+func MutateSchedule(rng *rand.Rand, parent []int, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	cur := append([]int(nil), parent...)
+	if len(cur) == 0 {
+		cur = append(cur, rng.Intn(n))
+	}
+	edits := 1 + rng.Intn(3)
+	for e := 0; e < edits; e++ {
+		switch rng.Intn(4) {
+		case 0: // truncate a suffix, keeping at least one step
+			if len(cur) > 1 {
+				cur = cur[:1+rng.Intn(len(cur)-1)]
+			}
+		case 1: // splice: duplicate a chunk at another position
+			chunk := 1 + rng.Intn(minInt(4, len(cur)))
+			src := rng.Intn(len(cur) - chunk + 1)
+			dst := rng.Intn(len(cur) + 1)
+			dup := append([]int(nil), cur[src:src+chunk]...)
+			out := make([]int, 0, len(cur)+chunk)
+			out = append(out, cur[:dst]...)
+			out = append(out, dup...)
+			out = append(out, cur[dst:]...)
+			cur = out
+		case 2: // pid swap within a window
+			if n > 1 {
+				win := 1 + rng.Intn(minInt(8, len(cur)))
+				start := rng.Intn(len(cur) - win + 1)
+				from := rng.Intn(n)
+				to := rng.Intn(n)
+				for i := start; i < start+win; i++ {
+					if cur[i] == from {
+						cur[i] = to
+					}
+				}
+			}
+		case 3: // point insert
+			pos := rng.Intn(len(cur) + 1)
+			out := make([]int, 0, len(cur)+1)
+			out = append(out, cur[:pos]...)
+			out = append(out, rng.Intn(n))
+			out = append(out, cur[pos:]...)
+			cur = out
+		}
+	}
+	for i, pid := range cur {
+		if pid < 0 || pid >= n {
+			cur[i] = ((pid % n) + n) % n
+		}
+	}
+	return cur
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,5 +1,7 @@
 package explore
 
+import "context"
+
 // Shrink minimizes a failing schedule: it returns a (usually much shorter)
 // schedule that still produces a failure of the same kind under cfg. Two
 // passes alternate until a fixpoint:
@@ -17,6 +19,24 @@ package explore
 // tosses, not random ones); RunSchedule's skip-disabled semantics keep
 // every candidate well-formed.
 func Shrink(cfg Config, schedule []int, kind FailureKind) []int {
+	return ShrinkCtx(context.Background(), cfg, schedule, kind)
+}
+
+// ShrinkCtx is Shrink under a context: cancellation is checked between
+// candidate runs, and on ctx done the best schedule found so far is
+// returned immediately. Every returned schedule — cancelled or not — still
+// fails with the requested kind (or is the untouched input when the input
+// itself does not reproduce), so callers under a deadline always hold a
+// valid counterexample, just possibly a longer one.
+func ShrinkCtx(ctx context.Context, cfg Config, schedule []int, kind FailureKind) []int {
+	cancelled := func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
 	fails := func(cand []int) bool {
 		rec, err := RunSchedule(cfg, cand)
 		if err != nil {
@@ -25,7 +45,7 @@ func Shrink(cfg Config, schedule []int, kind FailureKind) []int {
 		return rec.Failure != nil && rec.Failure.Kind == kind
 	}
 	cur := append([]int(nil), schedule...)
-	if !fails(cur) {
+	if cancelled() || !fails(cur) {
 		// Not reproducible under cfg (e.g. nondeterministic tosses);
 		// return the input untouched rather than "minimize" noise.
 		return cur
@@ -34,6 +54,9 @@ func Shrink(cfg Config, schedule []int, kind FailureKind) []int {
 		changed = false
 		for size := len(cur) / 2; size >= 1; size /= 2 {
 			for start := 0; start+size <= len(cur); {
+				if cancelled() {
+					return cur
+				}
 				cand := make([]int, 0, len(cur)-size)
 				cand = append(cand, cur[:start]...)
 				cand = append(cand, cur[start+size:]...)
@@ -48,6 +71,9 @@ func Shrink(cfg Config, schedule []int, kind FailureKind) []int {
 		for i := 0; i+1 < len(cur); i++ {
 			if cur[i] <= cur[i+1] {
 				continue
+			}
+			if cancelled() {
+				return cur
 			}
 			cand := append([]int(nil), cur...)
 			cand[i], cand[i+1] = cand[i+1], cand[i]

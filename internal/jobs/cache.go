@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strings"
 	"sync"
 )
 
@@ -32,12 +34,23 @@ type CacheStats struct {
 // cache dir every stored result is also persisted as <id>.json via an
 // atomic temp+rename write, so results survive both LRU eviction and
 // process restarts, and a repeated spec is always served byte-identically.
+//
+// Alongside the immutable results the cache also stores *checkpoints*:
+// mutable progress records for non-terminating work (campaign state,
+// internal/campaign), keyed by the owning spec's content hash and
+// persisted as <id>.ckpt.json. Checkpoints are overwritten in place — the
+// one deliberate departure from the write-once result contract — and are
+// exempt from the LRU: there is at most one per long-lived campaign, and
+// evicting one would silently rewind a restart to an older snapshot when
+// the disk copy is absent (memory-only caches).
 type Cache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 	dir   string
+
+	checkpoints map[string][]byte
 
 	hits, diskHits, misses, evictions int64
 }
@@ -59,7 +72,13 @@ func NewCache(maxEntries int, dir string) (*Cache, error) {
 			return nil, fmt.Errorf("jobs: cache dir: %w", err)
 		}
 	}
-	return &Cache{max: maxEntries, ll: list.New(), items: make(map[string]*list.Element), dir: dir}, nil
+	return &Cache{
+		max:         maxEntries,
+		ll:          list.New(),
+		items:       make(map[string]*list.Element),
+		dir:         dir,
+		checkpoints: make(map[string][]byte),
+	}, nil
 }
 
 var cacheIDPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
@@ -125,6 +144,75 @@ func (c *Cache) insertLocked(id string, result []byte) {
 		delete(c.items, last.Value.(*cacheEntry).id)
 		c.evictions++
 	}
+}
+
+// PutCheckpoint stores (or overwrites) the checkpoint record for id,
+// persisting <id>.ckpt.json atomically when a cache dir is configured. The
+// write is atomic, so a server killed mid-checkpoint leaves the previous
+// complete snapshot — a resume never sees a torn record.
+func (c *Cache) PutCheckpoint(id string, data []byte) error {
+	if !cacheIDPattern.MatchString(id) {
+		return fmt.Errorf("jobs: checkpoint id %q is not a sha256 hex digest", id)
+	}
+	if c.dir != "" {
+		if err := writeFileAtomic(filepath.Join(c.dir, id+".ckpt.json"), data); err != nil {
+			return fmt.Errorf("jobs: checkpoint persist: %w", err)
+		}
+	}
+	c.mu.Lock()
+	c.checkpoints[id] = append([]byte(nil), data...)
+	c.mu.Unlock()
+	return nil
+}
+
+// GetCheckpoint returns the checkpoint record for id, checking memory
+// first and then the cache directory.
+func (c *Cache) GetCheckpoint(id string) ([]byte, bool) {
+	c.mu.Lock()
+	if data, ok := c.checkpoints[id]; ok {
+		c.mu.Unlock()
+		return append([]byte(nil), data...), true
+	}
+	c.mu.Unlock()
+	if c.dir == "" || !cacheIDPattern.MatchString(id) {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, id+".ckpt.json"))
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.checkpoints[id] = append([]byte(nil), data...)
+	c.mu.Unlock()
+	return data, true
+}
+
+// Checkpoints lists the IDs with a checkpoint record, sorted — memory and
+// (when persistent) the cache directory combined. A restarted server
+// iterates this to resume every campaign the previous life checkpointed.
+func (c *Cache) Checkpoints() []string {
+	seen := make(map[string]struct{})
+	c.mu.Lock()
+	for id := range c.checkpoints {
+		seen[id] = struct{}{}
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if matches, err := filepath.Glob(filepath.Join(c.dir, "*.ckpt.json")); err == nil {
+			for _, path := range matches {
+				id := strings.TrimSuffix(filepath.Base(path), ".ckpt.json")
+				if cacheIDPattern.MatchString(id) {
+					seen[id] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Stats snapshots the counters.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"jayanti98/internal/campaign"
 	"jayanti98/internal/experiments"
 	"jayanti98/internal/explore"
 	"jayanti98/internal/lowerbound"
@@ -95,6 +96,8 @@ func runSpec(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte
 		payload, err = runSweep(ctx, spec.Sweep, p, parallel)
 	case KindExplore:
 		payload, err = runExplore(ctx, spec.Explore, p, parallel)
+	case KindCampaignRound:
+		payload, err = runCampaignRound(ctx, spec.CampaignRound, p, parallel)
 	default:
 		err = fmt.Errorf("jobs: unknown kind %q", spec.Kind)
 	}
@@ -245,6 +248,23 @@ func runExplore(ctx context.Context, spec *ExploreSpec, p *Progress, parallel in
 		return nil, fmt.Errorf("jobs: explore mode %q", spec.Mode)
 	}
 	return res, nil
+}
+
+// runCampaignRound executes one coverage-guided campaign round in-process
+// — the local reference implementation the distributed shard path
+// (internal/dist) must be byte-identical to.
+func runCampaignRound(ctx context.Context, rs *campaign.RoundSpec, p *Progress, parallel int) (*campaign.RoundResult, error) {
+	ctx, span := obs.StartSpan(ctx, "campaign round batch")
+	defer span.End()
+	span.SetAttr("alg", rs.Campaign.Alg)
+	span.SetAttr("round", fmt.Sprintf("%d", rs.Round))
+	p.Set("campaign-round", 0, 1)
+	rr, err := campaign.ExecuteRound(ctx, rs, parallel)
+	if err != nil {
+		return nil, err
+	}
+	p.Set("campaign-round", 1, 1)
+	return rr, nil
 }
 
 // NewExploreFailure converts a schedule-search counterexample to its wire

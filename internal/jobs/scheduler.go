@@ -317,6 +317,7 @@ func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
 		s.jobs[id] = j
 		s.counters.submitted++
 		s.counters.cacheServed++
+		s.pruneLocked()
 		s.mu.Unlock()
 		s.met.submitted.Inc()
 		s.met.cacheServed.Inc()
@@ -333,10 +334,51 @@ func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
 	}
 	s.jobs[id] = j
 	s.counters.submitted++
+	s.pruneLocked()
 	s.mu.Unlock()
 	s.met.submitted.Inc()
 	s.jobLogger(id, spec.Kind).Info("job queued")
 	return j.snapshot(), true, nil
+}
+
+// maxTrackedJobs bounds the scheduler's job map. The map used to grow
+// forever, which was invisible for one-shot experiment servers but is a
+// real leak under campaigns, which submit one round job every few seconds
+// indefinitely. Beyond the bound the oldest terminal jobs are forgotten —
+// their results stay in the content-addressed cache, so a forgotten ID
+// resubmitted later is still served byte-identically.
+const maxTrackedJobs = 1024
+
+// pruneLocked drops the oldest terminal jobs beyond maxTrackedJobs.
+// Callers hold s.mu. Queued and running jobs are never pruned.
+func (s *Scheduler) pruneLocked() {
+	if len(s.jobs) <= maxTrackedJobs {
+		return
+	}
+	type aged struct {
+		id      string
+		created time.Time
+	}
+	var terminal []aged
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		if j.status.Terminal() {
+			terminal = append(terminal, aged{id: id, created: j.created})
+		}
+		j.mu.Unlock()
+	}
+	sort.Slice(terminal, func(i, k int) bool {
+		if !terminal[i].created.Equal(terminal[k].created) {
+			return terminal[i].created.Before(terminal[k].created)
+		}
+		return terminal[i].id < terminal[k].id
+	})
+	for _, t := range terminal {
+		if len(s.jobs) <= maxTrackedJobs {
+			break
+		}
+		delete(s.jobs, t.id)
+	}
 }
 
 // jobLogger is the scheduler's logger with the job correlation attrs

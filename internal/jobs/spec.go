@@ -22,6 +22,7 @@ import (
 	"slices"
 	"sort"
 
+	"jayanti98/internal/campaign"
 	"jayanti98/internal/experiments"
 	"jayanti98/internal/explore"
 	"jayanti98/internal/lowerbound"
@@ -33,19 +34,28 @@ import (
 // with defaults by Normalize before hashing, so semantically identical
 // submissions share one job ID.
 type Spec struct {
-	// Kind selects the workload: "report", "sweep", or "explore".
+	// Kind selects the workload: "report", "sweep", "explore", or
+	// "campaign-round".
 	Kind string `json:"kind"`
 
 	Report  *ReportSpec  `json:"report,omitempty"`
 	Sweep   *SweepSpec   `json:"sweep,omitempty"`
 	Explore *ExploreSpec `json:"explore,omitempty"`
+	// CampaignRound is one round of a coverage-guided campaign
+	// (internal/campaign): the campaign manager submits these — one job
+	// per round — so rounds ride the scheduler, the dist shard-lease
+	// protocol, and the content-addressed cache like any other job. The
+	// round spec carries the round-start corpus, so cached round results
+	// and leased shards are both self-contained.
+	CampaignRound *campaign.RoundSpec `json:"campaignRound,omitempty"`
 }
 
 // The job kinds.
 const (
-	KindReport  = "report"
-	KindSweep   = "sweep"
-	KindExplore = "explore"
+	KindReport        = "report"
+	KindSweep         = "sweep"
+	KindExplore       = "explore"
+	KindCampaignRound = "campaign-round"
 )
 
 // ReportSpec runs a subset of the E1–E12 experiment report
@@ -203,13 +213,18 @@ func (s *Spec) Normalize() {
 			e.Samples = 0
 			e.Seed = 0
 		}
+	case KindCampaignRound:
+		if s.CampaignRound == nil {
+			s.CampaignRound = &campaign.RoundSpec{}
+		}
+		s.CampaignRound.Campaign.Normalize()
 	}
 }
 
 // Validate reports the first problem with the (normalized) spec.
 func (s *Spec) Validate() error {
 	set := 0
-	for _, sub := range []bool{s.Report != nil, s.Sweep != nil, s.Explore != nil} {
+	for _, sub := range []bool{s.Report != nil, s.Sweep != nil, s.Explore != nil, s.CampaignRound != nil} {
 		if sub {
 			set++
 		}
@@ -267,10 +282,29 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("jobs: explore budget %d negative", e.Budget)
 		}
 		return nil
+	case KindCampaignRound:
+		if s.CampaignRound == nil || set != 1 {
+			return fmt.Errorf("jobs: kind %q needs exactly the campaignRound sub-spec", s.Kind)
+		}
+		cr := s.CampaignRound
+		if err := cr.Campaign.Validate(); err != nil {
+			return err
+		}
+		if cr.Round < 0 {
+			return fmt.Errorf("jobs: campaign round %d negative", cr.Round)
+		}
+		for i, sched := range cr.Corpus {
+			for _, pid := range sched {
+				if pid < 0 || pid >= cr.Campaign.N {
+					return fmt.Errorf("jobs: campaign corpus entry %d has pid %d outside [0, %d)", i, pid, cr.Campaign.N)
+				}
+			}
+		}
+		return nil
 	case "":
-		return fmt.Errorf("jobs: missing kind (want %s, %s, or %s)", KindReport, KindSweep, KindExplore)
+		return fmt.Errorf("jobs: missing kind (want %s, %s, %s, or %s)", KindReport, KindSweep, KindExplore, KindCampaignRound)
 	default:
-		return fmt.Errorf("jobs: unknown kind %q (want %s, %s, or %s)", s.Kind, KindReport, KindSweep, KindExplore)
+		return fmt.Errorf("jobs: unknown kind %q (want %s, %s, %s, or %s)", s.Kind, KindReport, KindSweep, KindExplore, KindCampaignRound)
 	}
 }
 

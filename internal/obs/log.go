@@ -25,6 +25,7 @@ func NopLogger() *slog.Logger {
 type loggerKey struct{}
 type requestIDKey struct{}
 type jobIDKey struct{}
+type campaignIDKey struct{}
 
 // WithLogger returns a context carrying l as the base logger for
 // Logger(ctx).
@@ -65,6 +66,20 @@ func JobID(ctx context.Context) string {
 	return id
 }
 
+// WithCampaignID returns a context carrying the campaign correlation ID
+// (the content hash of the campaign's spec). Campaign rounds submitted as
+// jobs carry both IDs: campaign_id ties a server's round jobs back to the
+// long-lived campaign that spawned them.
+func WithCampaignID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, campaignIDKey{}, id)
+}
+
+// CampaignID returns the campaign correlation ID in ctx, or "".
+func CampaignID(ctx context.Context) string {
+	id, _ := ctx.Value(campaignIDKey{}).(string)
+	return id
+}
+
 // ShortID abbreviates a 64-hex content hash for log lines and span
 // attributes (12 hex chars is plenty against collision in one process's
 // stream); shorter IDs pass through unchanged.
@@ -88,6 +103,9 @@ func Logger(ctx context.Context) *slog.Logger {
 	}
 	if id := JobID(ctx); id != "" {
 		l = l.With("job_id", ShortID(id))
+	}
+	if id := CampaignID(ctx); id != "" {
+		l = l.With("campaign_id", ShortID(id))
 	}
 	return l
 }
