@@ -22,7 +22,7 @@ HOTPATH_BENCH ?= E1WakeupForcedSteps|ShmemLLSC|PsetChurn|ValuesEqual|MaxSteps|LL
 # Committed baseline artifact to diff against (first BENCH_*.json here).
 BENCH_BASELINE ?= $(firstword $(wildcard BENCH_*.json))
 
-.PHONY: build vet test race check smoke serve-smoke dist-smoke campaign-smoke bench bench-json bench-compare profile report mutation cover fuzz-short vm-equivalence explore-smoke ci
+.PHONY: build vet test race check smoke serve-smoke dist-smoke campaign-smoke restart-smoke bench bench-json bench-compare profile report mutation cover fuzz-short vm-equivalence explore-smoke ci
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,12 @@ dist-smoke:
 # campaign must survive a server restart with its corpus intact.
 campaign-smoke:
 	./scripts/campaign_smoke.sh
+
+# Smoke restart durability: SIGKILL lbserver mid-run and assert the job
+# journal re-enqueues pending work, keeps DELETE tombstones, and serves
+# finished results byte-identically after the restart.
+restart-smoke:
+	./scripts/restart_smoke.sh
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .

@@ -22,7 +22,7 @@
 //	GET    /v1/jobs/{id}        status, progress, result
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs             list jobs (?status= filters)
-//	GET    /v1/jobs/{id}/events NDJSON progress stream
+//	GET    /v1/jobs/{id}/events live progress (Server-Sent Events; resume with Last-Event-ID)
 //	GET    /v1/cache/stats      result-cache counters
 //	POST   /v1/campaigns        start a campaign (idempotent on content hash)
 //	GET    /v1/campaigns        list campaigns with live stats
@@ -42,6 +42,14 @@
 // latency histograms on /metrics, one span per request on /debug/traces,
 // and one structured JSON log line per request (correlated by request_id;
 // job lifecycle lines are correlated by job_id).
+//
+// With -tenants the /v1/ API is multi-tenant: requests authenticate with
+// an API key ("Authorization: Bearer <key>" or "X-API-Key"), each tenant
+// has a token-bucket request rate and per-tenant queued/running caps, and
+// the scheduler shares workers across tenants by weighted fair-share
+// round-robin instead of a single FIFO. With -cache-dir every accepted
+// job is also journaled (<id>.job.json): a killed and restarted server
+// re-enqueues pending work and serves finished results byte-identically.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, every
 // queued and running job is cancelled, and the worker pool drains within
@@ -67,6 +75,7 @@ import (
 	"jayanti98/internal/dist"
 	"jayanti98/internal/jobs"
 	"jayanti98/internal/obs"
+	"jayanti98/internal/tenant"
 )
 
 type options struct {
@@ -86,6 +95,8 @@ type options struct {
 
 	findingsDir     string
 	checkpointEvery int
+
+	tenantsPath string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -107,6 +118,7 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&opts.distShards, "dist-shards", 8, "maximum shards one job is split into")
 	fs.StringVar(&opts.findingsDir, "campaign-findings", "", "directory for campaign finding replay files (empty: findings only in stats)")
 	fs.IntVar(&opts.checkpointEvery, "campaign-checkpoint-every", 1, "checkpoint campaign state every N rounds")
+	fs.StringVar(&opts.tenantsPath, "tenants", "", "tenant config JSON: API keys, rate limits, fair-share weights (empty: open single-tenant mode)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -165,7 +177,7 @@ func publishVars() {
 // /metrics, /debug/traces, /debug/pprof, /debug/vars — and wraps
 // everything in the obs middleware (per-route metrics, request spans,
 // request log lines).
-func newMux(s *jobs.Scheduler, coord *dist.Coordinator, mgr *campaign.Manager, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) http.Handler {
+func newMux(s *jobs.Scheduler, coord *dist.Coordinator, mgr *campaign.Manager, tenants *tenant.Registry, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) http.Handler {
 	activeScheduler.Store(s)
 	publishVars()
 	mux := http.NewServeMux()
@@ -185,7 +197,10 @@ func newMux(s *jobs.Scheduler, coord *dist.Coordinator, mgr *campaign.Manager, r
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return obs.Middleware(mux, obs.MiddlewareOptions{
+	// Tenant auth sits inside the obs middleware so 401/429 rejections
+	// still get per-route metrics, spans, and request log lines.
+	guarded := tenant.Middleware(mux, tenant.MiddlewareOptions{Registry: tenants, Obs: reg})
+	return obs.Middleware(guarded, obs.MiddlewareOptions{
 		Registry: reg,
 		Tracer:   tracer,
 		Logger:   logger,
@@ -210,7 +225,7 @@ func newCoordinator(opts options, reg *obs.Registry, logger *slog.Logger) *dist.
 	})
 }
 
-func newScheduler(opts options, coord *dist.Coordinator, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) (*jobs.Scheduler, error) {
+func newScheduler(opts options, coord *dist.Coordinator, tenants *tenant.Registry, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) (*jobs.Scheduler, error) {
 	cache, err := jobs.NewCache(opts.cacheEntries, opts.cacheDir)
 	if err != nil {
 		return nil, err
@@ -221,6 +236,7 @@ func newScheduler(opts options, coord *dist.Coordinator, reg *obs.Registry, trac
 		JobTimeout:    opts.jobTimeout,
 		SweepParallel: opts.sweepWorkers,
 		Cache:         cache,
+		Tenants:       tenants,
 		Obs:           reg,
 		Tracer:        tracer,
 		Logger:        logger,
@@ -231,6 +247,19 @@ func newScheduler(opts options, coord *dist.Coordinator, reg *obs.Registry, trac
 		jopts.Dist = coord
 	}
 	return jobs.NewScheduler(jopts)
+}
+
+// loadTenants builds the tenant registry: open single-tenant mode with
+// no -tenants flag, the validated config file otherwise.
+func loadTenants(path string) (*tenant.Registry, error) {
+	if path == "" {
+		return tenant.Open(), nil
+	}
+	reg, err := tenant.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("-tenants: %w", err)
+	}
+	return reg, nil
 }
 
 // resumeCampaigns restarts every campaign the previous server life
@@ -256,7 +285,12 @@ func main() {
 	reg := obs.Default()
 	tracer := obs.NewTracer(opts.traceSpans)
 	coord := newCoordinator(opts, reg, logger)
-	sched, err := newScheduler(opts, coord, reg, tracer, logger)
+	tenants, err := loadTenants(opts.tenantsPath)
+	if err != nil {
+		logger.Error("startup", "error", err.Error())
+		os.Exit(1)
+	}
+	sched, err := newScheduler(opts, coord, tenants, reg, tracer, logger)
 	if err != nil {
 		logger.Error("startup", "error", err.Error())
 		os.Exit(1)
@@ -271,7 +305,7 @@ func main() {
 		Logger:          logger,
 	})
 	resumeCampaigns(sched, mgr, logger)
-	srv := &http.Server{Addr: opts.addr, Handler: newMux(sched, coord, mgr, reg, tracer, logger)}
+	srv := &http.Server{Addr: opts.addr, Handler: newMux(sched, coord, mgr, tenants, reg, tracer, logger)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

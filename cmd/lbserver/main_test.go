@@ -16,6 +16,7 @@ import (
 	"jayanti98/internal/campaign"
 	"jayanti98/internal/jobs"
 	"jayanti98/internal/obs"
+	"jayanti98/internal/tenant"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -65,7 +66,7 @@ func newTestServer(t *testing.T, opts options) (*jobs.Scheduler, *httptest.Serve
 	var logBuf bytes.Buffer
 	logger := obs.NewLogger(&logBuf, slog.LevelDebug)
 	coord := newCoordinator(opts, reg, logger)
-	sched, err := newScheduler(opts, coord, reg, tracer, logger)
+	sched, err := newScheduler(opts, coord, tenant.Open(), reg, tracer, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func newTestServer(t *testing.T, opts options) (*jobs.Scheduler, *httptest.Serve
 			t.Errorf("shutdown: %v", err)
 		}
 	})
-	srv := httptest.NewServer(newMux(sched, coord, mgr, reg, tracer, logger))
+	srv := httptest.NewServer(newMux(sched, coord, mgr, tenant.Open(), reg, tracer, logger))
 	t.Cleanup(srv.Close)
 	return sched, srv, reg, tracer, &logBuf
 }
@@ -249,11 +250,11 @@ func TestNewMuxIdempotentExpvars(t *testing.T) {
 		reg := obs.NewRegistry()
 		tracer := obs.NewTracer(8)
 		logger := obs.NopLogger()
-		sched, err := newScheduler(options{workers: 1, queueDepth: 4, cacheEntries: 4}, nil, reg, tracer, logger)
+		sched, err := newScheduler(options{workers: 1, queueDepth: 4, cacheEntries: 4}, nil, tenant.Open(), reg, tracer, logger)
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv := httptest.NewServer(newMux(sched, nil, nil, reg, tracer, logger))
+		srv := httptest.NewServer(newMux(sched, nil, nil, tenant.Open(), reg, tracer, logger))
 		for _, path := range []string{"/debug/vars", "/metrics"} {
 			resp, err := http.Get(srv.URL + path)
 			if err != nil {

@@ -39,6 +39,7 @@ import (
 type options struct {
 	server     string
 	id         string
+	apiKey     string
 	parallel   int
 	maxRetries int
 	backoff    time.Duration
@@ -52,6 +53,7 @@ func parseFlags(args []string) (options, error) {
 	var logLevel string
 	fs.StringVar(&opts.server, "server", "http://127.0.0.1:8080", "coordinator base URL")
 	fs.StringVar(&opts.id, "id", "", "worker identity (default: <hostname>-<pid>)")
+	fs.StringVar(&opts.apiKey, "api-key", "", "API key for a coordinator running with -tenants (sent as Authorization: Bearer)")
 	fs.IntVar(&opts.parallel, "parallel", 0, "goroutines per shard (0: one per CPU)")
 	fs.IntVar(&opts.maxRetries, "max-retries", 8, "consecutive transport failures tolerated before exiting")
 	fs.DurationVar(&opts.backoff, "backoff", 100*time.Millisecond, "initial idle/retry poll delay")
@@ -85,6 +87,7 @@ func main() {
 	worker, err := dist.NewWorker(dist.WorkerOptions{
 		Server:      opts.server,
 		ID:          opts.id,
+		APIKey:      opts.apiKey,
 		Parallel:    opts.parallel,
 		MaxRetries:  opts.maxRetries,
 		BackoffBase: opts.backoff,

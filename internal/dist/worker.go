@@ -24,6 +24,10 @@ type WorkerOptions struct {
 	Server string
 	// ID names the worker in leases and logs. Empty: "<hostname>-<pid>".
 	ID string
+	// APIKey authenticates the worker against a coordinator running with
+	// tenant auth (-tenants); sent as "Authorization: Bearer <key>".
+	// Empty: no credential (open coordinators).
+	APIKey string
 	// Parallel bounds the goroutines a shard runs on (sweep.Workers
 	// semantics; ≤ 0: one per CPU).
 	Parallel int
@@ -302,6 +306,9 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) (int, err
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.opts.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+w.opts.APIKey)
+	}
 	resp, err := w.client.Do(req)
 	if err != nil {
 		return 0, err

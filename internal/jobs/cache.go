@@ -38,11 +38,17 @@ type CacheStats struct {
 // Alongside the immutable results the cache also stores *checkpoints*:
 // mutable progress records for non-terminating work (campaign state,
 // internal/campaign), keyed by the owning spec's content hash and
-// persisted as <id>.ckpt.json. Checkpoints are overwritten in place — the
-// one deliberate departure from the write-once result contract — and are
+// persisted as <id>.ckpt.json. Checkpoints are overwritten in place — a
+// deliberate departure from the write-once result contract — and are
 // exempt from the LRU: there is at most one per long-lived campaign, and
 // evicting one would silently rewind a restart to an older snapshot when
 // the disk copy is absent (memory-only caches).
+//
+// The third record class is *job records* (<id>.job.json): the
+// scheduler's write-ahead journal of every job's spec, tenant, and
+// lifecycle (journal.go). Like checkpoints they are mutable and
+// LRU-exempt; unlike checkpoints they are deleted when the scheduler
+// prunes old terminal jobs.
 type Cache struct {
 	mu    sync.Mutex
 	max   int
@@ -51,6 +57,7 @@ type Cache struct {
 	dir   string
 
 	checkpoints map[string][]byte
+	jobRecords  map[string][]byte
 
 	hits, diskHits, misses, evictions int64
 }
@@ -78,6 +85,7 @@ func NewCache(maxEntries int, dir string) (*Cache, error) {
 		items:       make(map[string]*list.Element),
 		dir:         dir,
 		checkpoints: make(map[string][]byte),
+		jobRecords:  make(map[string][]byte),
 	}, nil
 }
 
@@ -185,6 +193,89 @@ func (c *Cache) GetCheckpoint(id string) ([]byte, bool) {
 	c.checkpoints[id] = append([]byte(nil), data...)
 	c.mu.Unlock()
 	return data, true
+}
+
+// PutJobRecord stores (or overwrites) the journal record for id,
+// persisting <id>.job.json atomically when a cache dir is configured.
+// Job records are the scheduler's write-ahead journal (journal.go): like
+// checkpoints they are mutable, LRU-exempt, and overwritten in place on
+// every status transition, so the newest complete record always survives
+// a SIGKILL (the atomic rename never leaves a torn file).
+func (c *Cache) PutJobRecord(id string, data []byte) error {
+	if !cacheIDPattern.MatchString(id) {
+		return fmt.Errorf("jobs: job record id %q is not a sha256 hex digest", id)
+	}
+	if c.dir != "" {
+		if err := writeFileAtomic(filepath.Join(c.dir, id+".job.json"), data); err != nil {
+			return fmt.Errorf("jobs: job record persist: %w", err)
+		}
+	}
+	c.mu.Lock()
+	c.jobRecords[id] = append([]byte(nil), data...)
+	c.mu.Unlock()
+	return nil
+}
+
+// GetJobRecord returns the journal record for id, checking memory first
+// and then the cache directory.
+func (c *Cache) GetJobRecord(id string) ([]byte, bool) {
+	c.mu.Lock()
+	if data, ok := c.jobRecords[id]; ok {
+		c.mu.Unlock()
+		return append([]byte(nil), data...), true
+	}
+	c.mu.Unlock()
+	if c.dir == "" || !cacheIDPattern.MatchString(id) {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, id+".job.json"))
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.jobRecords[id] = append([]byte(nil), data...)
+	c.mu.Unlock()
+	return data, true
+}
+
+// DeleteJobRecord forgets the journal record for id (memory and disk).
+// The scheduler calls it when pruning old terminal jobs: the result
+// stays in the content-addressed cache, only the lifecycle record goes.
+func (c *Cache) DeleteJobRecord(id string) {
+	c.mu.Lock()
+	delete(c.jobRecords, id)
+	c.mu.Unlock()
+	if c.dir != "" && cacheIDPattern.MatchString(id) {
+		_ = os.Remove(filepath.Join(c.dir, id+".job.json"))
+	}
+}
+
+// JobRecords lists the IDs with a journal record, sorted — memory and
+// (when persistent) the cache directory combined. A restarted scheduler
+// iterates this to replay every job the previous life journaled.
+func (c *Cache) JobRecords() []string {
+	seen := make(map[string]struct{})
+	c.mu.Lock()
+	for id := range c.jobRecords {
+		seen[id] = struct{}{}
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if matches, err := filepath.Glob(filepath.Join(c.dir, "*.job.json")); err == nil {
+			for _, path := range matches {
+				id := strings.TrimSuffix(filepath.Base(path), ".job.json")
+				if cacheIDPattern.MatchString(id) {
+					seen[id] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Checkpoints lists the IDs with a checkpoint record, sorted — memory and

@@ -1,0 +1,266 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"jayanti98/internal/tenant"
+)
+
+// fuzzSpec builds a cheap valid spec whose content hash varies with seed,
+// so tests can enqueue many distinct jobs (the fake executor never
+// actually fuzzes anything).
+func fuzzSpec(seed int64) *Spec {
+	return &Spec{Kind: KindExplore, Explore: &ExploreSpec{Mode: "fuzz", Seed: seed}}
+}
+
+func tenantsRegistry(t *testing.T, cfg tenant.Config) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestFairShareStarvationFreedom is the acceptance-criteria property: a
+// tenant with a saturated backlog never delays another tenant's single
+// job by more than one scheduling quantum. With weights heavy=3 and
+// light=1 the quantum is ceil(totalWeight/lightWeight) = 4 dispatches, so
+// at most 3 heavy jobs may start between the light job becoming eligible
+// and it running.
+func TestFairShareStarvationFreedom(t *testing.T) {
+	reg := tenantsRegistry(t, tenant.Config{Tenants: []tenant.Tenant{
+		{Name: "heavy", Key: "kh", Limits: tenant.Limits{Weight: 3}},
+		{Name: "light", Key: "kl", Limits: tenant.Limits{Weight: 1}},
+	}})
+	started := make(chan int64, 64)
+	release := make(chan struct{})
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		started <- spec.Explore.Seed
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return []byte(fmt.Sprintf(`{"seed":%d}`, spec.Explore.Seed)), nil
+	})
+	s := newTestScheduler(t, Options{Workers: 1, Tenants: reg})
+
+	// One heavy job occupies the single worker...
+	if _, _, err := s.SubmitAs("heavy", fuzzSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if seed := <-started; seed != 1 {
+		t.Fatalf("first start = seed %d, want 1", seed)
+	}
+	// ...seven more pile up behind it, and then the light tenant asks for
+	// one job.
+	for seed := int64(2); seed <= 8; seed++ {
+		if _, _, err := s.SubmitAs("heavy", fuzzSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lightView, _, err := s.SubmitAs("light", fuzzSpec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lightView.Tenant != "light" {
+		t.Fatalf("light job owned by %q, want light", lightView.Tenant)
+	}
+
+	// Step the worker: each release finishes the running job and lets the
+	// scheduler dispatch the next one.
+	var order []int64
+	for i := 0; i < 8; i++ {
+		release <- struct{}{}
+		select {
+		case seed := <-started:
+			order = append(order, seed)
+		case <-time.After(30 * time.Second):
+			t.Fatalf("dispatch %d never started; order so far %v", i, order)
+		}
+	}
+	release <- struct{}{} // finish the last job
+
+	lightPos := -1
+	for i, seed := range order {
+		if seed == 100 {
+			lightPos = i
+		}
+	}
+	if lightPos == -1 {
+		t.Fatalf("light job never started: %v", order)
+	}
+	// Positions 0..lightPos-1 are heavy dispatches that jumped ahead; the
+	// smooth-WRR bound says strictly fewer than one quantum of them.
+	if lightPos >= 4 {
+		t.Fatalf("light job delayed by %d heavy dispatches, want < 4 (one quantum): %v", lightPos, order)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if final, err := s.Wait(ctx, lightView.ID); err != nil || final.Status != StatusDone {
+		t.Fatalf("light job ended %+v, %v", final, err)
+	}
+}
+
+// TestFairShareWeightedSplit pins the steady-state share: with weights
+// 3:1 and both backlogs saturated, 8 consecutive dispatches split 6:2.
+func TestFairShareWeightedSplit(t *testing.T) {
+	reg := tenantsRegistry(t, tenant.Config{Tenants: []tenant.Tenant{
+		{Name: "heavy", Key: "kh", Limits: tenant.Limits{Weight: 3}},
+		{Name: "light", Key: "kl", Limits: tenant.Limits{Weight: 1}},
+	}})
+	started := make(chan int64, 64)
+	release := make(chan struct{})
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		started <- spec.Explore.Seed
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return []byte(`{}`), nil
+	})
+	s := newTestScheduler(t, Options{Workers: 1, Tenants: reg})
+
+	// Heavy seeds are 1..9, light seeds 101..104. The first submission
+	// starts immediately (the worker is idle); everything after queues.
+	if _, _, err := s.SubmitAs("heavy", fuzzSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if seed := <-started; seed != 1 {
+		t.Fatalf("first start = seed %d, want 1", seed)
+	}
+	for seed := int64(2); seed <= 9; seed++ {
+		if _, _, err := s.SubmitAs("heavy", fuzzSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seed := int64(101); seed <= 104; seed++ {
+		if _, _, err := s.SubmitAs("light", fuzzSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var heavy, light int
+	for i := 0; i < 8; i++ {
+		release <- struct{}{}
+		select {
+		case seed := <-started:
+			if seed > 100 {
+				light++
+			} else {
+				heavy++
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("dispatch %d never started", i)
+		}
+	}
+	if heavy != 6 || light != 2 {
+		t.Fatalf("8 dispatches split heavy=%d light=%d, want 6:2 for weights 3:1", heavy, light)
+	}
+	// Drain the rest so Shutdown does not wait on blocked jobs.
+	for i := 0; i < 5; i++ {
+		release <- struct{}{}
+	}
+}
+
+// TestTenantMaxRunningCap: a tenant at its running cap leaves its backlog
+// queued while other tenants' work flows through the free workers.
+func TestTenantMaxRunningCap(t *testing.T) {
+	reg := tenantsRegistry(t, tenant.Config{Tenants: []tenant.Tenant{
+		{Name: "capped", Key: "kc", Limits: tenant.Limits{MaxRunning: 1}},
+		{Name: "free", Key: "kf"},
+	}})
+	started := make(chan int64, 8)
+	gates := map[int64]chan struct{}{1: make(chan struct{}), 2: make(chan struct{}), 100: make(chan struct{})}
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		started <- spec.Explore.Seed
+		select {
+		case <-gates[spec.Explore.Seed]:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return []byte(`{}`), nil
+	})
+	s := newTestScheduler(t, Options{Workers: 2, Tenants: reg})
+
+	if _, _, err := s.SubmitAs("capped", fuzzSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if seed := <-started; seed != 1 {
+		t.Fatalf("first start = seed %d, want 1", seed)
+	}
+	// The second capped job must NOT start (cap 1), even with a worker
+	// idle...
+	if _, _, err := s.SubmitAs("capped", fuzzSpec(2)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case seed := <-started:
+		t.Fatalf("capped tenant started a second job (seed %d) past MaxRunning=1", seed)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// ...but the free tenant's job flows straight through that worker.
+	if _, _, err := s.SubmitAs("free", fuzzSpec(100)); err != nil {
+		t.Fatal(err)
+	}
+	if seed := <-started; seed != 100 {
+		t.Fatalf("free tenant start = seed %d, want 100", seed)
+	}
+	close(gates[100])
+
+	// Releasing the first capped job frees the cap; the second runs.
+	close(gates[1])
+	if seed := <-started; seed != 2 {
+		t.Fatalf("after cap release, start = seed %d, want 2", seed)
+	}
+	close(gates[2])
+}
+
+// TestSubmitAsTenantQueueCap: submissions beyond MaxQueued fail with
+// TenantBusyError (the scheduler-level 429).
+func TestSubmitAsTenantQueueCap(t *testing.T) {
+	reg := tenantsRegistry(t, tenant.Config{Tenants: []tenant.Tenant{
+		{Name: "t", Key: "kt", Limits: tenant.Limits{MaxQueued: 1}},
+	}})
+	started := make(chan int64, 8)
+	release := make(chan struct{})
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		started <- spec.Explore.Seed
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return []byte(`{}`), nil
+	})
+	s := newTestScheduler(t, Options{Workers: 1, Tenants: reg})
+
+	if _, _, err := s.SubmitAs("t", fuzzSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started // seed 1 is running, not queued
+	if _, _, err := s.SubmitAs("t", fuzzSpec(2)); err != nil {
+		t.Fatal(err) // queued = 1, at the cap
+	}
+	_, _, err := s.SubmitAs("t", fuzzSpec(3))
+	var busy *TenantBusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("over-cap submission error = %v, want TenantBusyError", err)
+	}
+	if busy.Tenant != "t" || busy.RetryAfter <= 0 {
+		t.Fatalf("busy = %+v", busy)
+	}
+	// The global queue-full error is untouched by tenancy and reads
+	// differently.
+	if errors.Is(err, ErrQueueFull) {
+		t.Fatal("TenantBusyError must not alias ErrQueueFull")
+	}
+	close(release)
+}

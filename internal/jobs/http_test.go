@@ -8,9 +8,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"jayanti98/internal/tenant"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Scheduler, *httptest.Server) {
@@ -126,6 +129,53 @@ func TestHTTPIdempotentSubmitAndCachedResult(t *testing.T) {
 	}
 }
 
+// sseFrame is one parsed Server-Sent Events frame.
+type sseFrame struct {
+	ID    int
+	Event string
+	Data  string
+}
+
+// readSSE consumes the stream until EOF, returning the parsed frames
+// (comment heartbeats are dropped).
+func readSSE(t *testing.T, body *bufio.Scanner) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	cur := sseFrame{ID: -1}
+	flushFrame := func() {
+		if cur.Event != "" || cur.Data != "" {
+			frames = append(frames, cur)
+		}
+		cur = sseFrame{ID: -1}
+	}
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case line == "":
+			flushFrame()
+		case strings.HasPrefix(line, ":"):
+			// comment / heartbeat
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+			if err != nil {
+				t.Fatalf("bad id line %q: %v", line, err)
+			}
+			cur.ID = id
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := body.Err(); err != nil {
+		t.Fatal(err)
+	}
+	flushFrame()
+	return frames
+}
+
 func TestHTTPEventsStream(t *testing.T) {
 	_, srv := newTestServer(t, Options{Workers: 1})
 	spec := `{"kind":"explore","explore":{"alg":"central","mode":"exhaustive"}}`
@@ -138,50 +188,46 @@ func TestHTTPEventsStream(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Subscribe immediately; the stream must end with the terminal status
-	// line regardless of how many intermediate events we catch.
+	// Subscribe immediately; the stream must end with the terminal
+	// "status" event regardless of how many progress frames we catch.
 	eresp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eresp.Body.Close()
-	if ct := eresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+	if ct := eresp.Header.Get("Content-Type"); ct != "text/event-stream" {
 		t.Fatalf("events content-type = %q", ct)
 	}
-	var lines []string
-	sc := bufio.NewScanner(eresp.Body)
-	for sc.Scan() {
-		lines = append(lines, sc.Text())
+	frames := readSSE(t, bufio.NewScanner(eresp.Body))
+	if len(frames) == 0 {
+		t.Fatal("stream had no frames, want at least the terminal status event")
 	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
+	// Every frame carries JSON data; IDs never decrease.
+	lastID := -1
+	for i, fr := range frames {
+		if !json.Valid([]byte(fr.Data)) {
+			t.Fatalf("frame %d data %q is not JSON", i, fr.Data)
+		}
+		if fr.ID < lastID {
+			t.Fatalf("event id regressed at frame %d: %+v", i, frames)
+		}
+		lastID = fr.ID
+		if i < len(frames)-1 && fr.Event != "progress" {
+			t.Fatalf("frame %d event = %q, want progress", i, fr.Event)
+		}
 	}
-	if len(lines) < 2 {
-		t.Fatalf("stream had %d lines, want snapshot + terminal at least: %v", len(lines), lines)
-	}
-	// Every line is valid JSON; Seq never decreases.
-	lastSeq := -1
-	for i, line := range lines {
-		var ev struct {
-			Seq    int    `json:"seq"`
-			Status string `json:"status"`
-		}
-		if err := json.Unmarshal([]byte(line), &ev); err != nil {
-			t.Fatalf("line %d %q: %v", i, line, err)
-		}
-		if ev.Seq < lastSeq {
-			t.Fatalf("seq regressed at line %d: %v", i, lines)
-		}
-		lastSeq = ev.Seq
+	last := frames[len(frames)-1]
+	if last.Event != "status" {
+		t.Fatalf("final frame event = %q, want status: %+v", last.Event, frames)
 	}
 	var terminal struct {
 		Status string `json:"status"`
 	}
-	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &terminal); err != nil {
+	if err := json.Unmarshal([]byte(last.Data), &terminal); err != nil {
 		t.Fatal(err)
 	}
 	if terminal.Status != string(StatusDone) {
-		t.Fatalf("terminal line status = %q, want done: %v", terminal.Status, lines)
+		t.Fatalf("terminal status = %q, want done: %+v", terminal.Status, frames)
 	}
 }
 
@@ -412,5 +458,219 @@ func TestHTTPQueueFullMaps503(t *testing.T) {
 	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", `{"kind":"explore","explore":{"n":4,"mode":"exhaustive"}}`)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("overflow POST: %d %s, want 503", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPEventsResumeLastEventID: a client reconnecting with
+// Last-Event-ID is served only events newer than that sequence number —
+// no duplicated frames, same terminal status event.
+func TestHTTPEventsResumeLastEventID(t *testing.T) {
+	emitted := make(chan struct{})
+	release := make(chan struct{})
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		p.Set("phase-a", 1, 3) // seq 2 (seq 1 is "queued")
+		close(emitted)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		p.Set("phase-b", 2, 3) // seq 3
+		return []byte(`{"ok":true}`), nil
+	})
+	_, srv := newTestServer(t, Options{Workers: 1})
+
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", `{"kind":"explore","explore":{"mode":"fuzz"}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	<-emitted
+
+	// First connection: catch the snapshot (seq ≥ 2), then "disconnect".
+	eresp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(eresp.Body)
+	lastSeen := -1
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "id: ") {
+			lastSeen, err = strconv.Atoi(strings.TrimPrefix(line, "id: "))
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	eresp.Body.Close()
+	if lastSeen < 2 {
+		t.Fatalf("first connection saw id %d, want the phase-a snapshot (≥ 2)", lastSeen)
+	}
+
+	close(release)
+	pollDone(t, srv.URL, view.ID)
+
+	// Reconnect with Last-Event-ID: every frame must be strictly newer.
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+view.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", strconv.Itoa(lastSeen))
+	eresp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp2.Body.Close()
+	frames := readSSE(t, bufio.NewScanner(eresp2.Body))
+	if len(frames) == 0 {
+		t.Fatal("resumed stream had no frames")
+	}
+	for i, fr := range frames {
+		if fr.ID <= lastSeen {
+			t.Fatalf("resumed frame %d has id %d ≤ Last-Event-ID %d: %+v", i, fr.ID, lastSeen, frames)
+		}
+	}
+	if last := frames[len(frames)-1]; last.Event != "status" {
+		t.Fatalf("resumed stream final event = %q, want status", last.Event)
+	}
+
+	// The ?lastEventId= query spelling behaves identically (for clients
+	// that cannot set headers).
+	eresp3, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events?lastEventId=" + strconv.Itoa(lastSeen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp3.Body.Close()
+	for i, fr := range readSSE(t, bufio.NewScanner(eresp3.Body)) {
+		if fr.ID <= lastSeen {
+			t.Fatalf("query-resumed frame %d has id %d ≤ %d", i, fr.ID, lastSeen)
+		}
+	}
+}
+
+// TestHTTPEventsHeartbeat: an idle stream carries comment heartbeats so
+// proxies do not reap the connection.
+func TestHTTPEventsHeartbeat(t *testing.T) {
+	orig := SSEHeartbeat
+	SSEHeartbeat = 20 * time.Millisecond
+	t.Cleanup(func() { SSEHeartbeat = orig })
+
+	release := make(chan struct{})
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return []byte(`{}`), nil
+	})
+	_, srv := newTestServer(t, Options{Workers: 1})
+	defer close(release)
+
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", `{"kind":"explore","explore":{"mode":"fuzz"}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	eresp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	sc := bufio.NewScanner(eresp.Body)
+	deadline := time.Now().Add(10 * time.Second)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), ":") {
+			return // heartbeat observed
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	t.Fatalf("no heartbeat on an idle stream: %v", sc.Err())
+}
+
+// TestHTTPTenantSubmitAndQueueCap429 exercises the full tenant path over
+// HTTP: the middleware authenticates the key, the handler submits as
+// that tenant, and a submission past the tenant's queued cap answers 429
+// with Retry-After.
+func TestHTTPTenantSubmitAndQueueCap429(t *testing.T) {
+	reg, err := tenant.New(tenant.Config{Tenants: []tenant.Tenant{
+		{Name: "acme", Key: "k-acme", Limits: tenant.Limits{MaxQueued: 1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	swapRunSpec(t, func(ctx context.Context, spec *Spec, p *Progress, parallel int) ([]byte, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return []byte(`{}`), nil
+	})
+	s := newTestScheduler(t, Options{Workers: 1, Tenants: reg})
+	srv := httptest.NewServer(tenant.Middleware(NewHandler(s), tenant.MiddlewareOptions{Registry: reg}))
+	t.Cleanup(srv.Close)
+	defer close(release)
+
+	post := func(seed int, key string) (*http.Response, []byte) {
+		t.Helper()
+		spec := fmt.Sprintf(`{"kind":"explore","explore":{"mode":"fuzz","seed":%d}}`, seed)
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	// No key: the closed registry rejects before the handler runs.
+	if resp, _ := post(1, ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("anonymous POST = %d, want 401", resp.StatusCode)
+	}
+	// Authenticated submissions run as the keyed tenant.
+	resp, body := post(1, "k-acme")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST 1: %d %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Tenant != "acme" {
+		t.Fatalf("job tenant = %q, want acme", view.Tenant)
+	}
+	<-started // seed 1 occupies the worker
+	if resp, body := post(2, "k-acme"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST 2: %d %s", resp.StatusCode, body) // queued, at the cap
+	}
+	resp, body = post(3, "k-acme")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap POST = %d %s, want 429", resp.StatusCode, body)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("429 Retry-After = %q, want a positive whole-second count", resp.Header.Get("Retry-After"))
 	}
 }

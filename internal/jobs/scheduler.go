@@ -13,6 +13,7 @@ import (
 
 	"jayanti98/internal/obs"
 	"jayanti98/internal/stats"
+	"jayanti98/internal/tenant"
 )
 
 // Status is a job's lifecycle state.
@@ -33,12 +34,26 @@ func (s Status) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCanceled
 }
 
-// ErrQueueFull is returned by Submit when the queue has no room; callers
-// (the HTTP layer) translate it to 503.
+// ErrQueueFull is returned by Submit when the global queue has no room;
+// callers (the HTTP layer) translate it to 503.
 var ErrQueueFull = errors.New("jobs: queue full")
 
 // ErrShuttingDown is returned by Submit after Shutdown has begun.
 var ErrShuttingDown = errors.New("jobs: scheduler shutting down")
+
+// TenantBusyError is returned by SubmitAs when the tenant is at its
+// queued-jobs cap. The HTTP layer translates it to 429 with a
+// Retry-After header — unlike ErrQueueFull this is the tenant's own
+// backlog, not server overload.
+type TenantBusyError struct {
+	Tenant string
+	// RetryAfter is the suggested wait before retrying.
+	RetryAfter time.Duration
+}
+
+func (e *TenantBusyError) Error() string {
+	return fmt.Sprintf("jobs: tenant %q is at its queued-jobs cap", e.Tenant)
+}
 
 // Runner executes a spec somewhere other than the local worker pool —
 // internal/dist's coordinator implements it to fan a shardable spec out
@@ -57,8 +72,8 @@ type Runner interface {
 type Options struct {
 	// Workers is the number of jobs run concurrently (≤ 0: 2).
 	Workers int
-	// QueueDepth bounds the number of queued-but-not-running jobs
-	// (≤ 0: 64). Submit fails with ErrQueueFull beyond it.
+	// QueueDepth bounds the number of queued-but-not-running jobs across
+	// all tenants (≤ 0: 64). Submit fails with ErrQueueFull beyond it.
 	QueueDepth int
 	// JobTimeout is the per-job deadline (0: none).
 	JobTimeout time.Duration
@@ -67,8 +82,15 @@ type Options struct {
 	// identity: results are parallelism-independent by the determinism
 	// contract.
 	SweepParallel int
-	// Cache is the result cache (nil: a fresh memory-only cache).
+	// Cache is the result cache and journal store (nil: a fresh
+	// memory-only cache). With a cache directory the scheduler journals
+	// every job as <id>.job.json and replays the journal on construction,
+	// so accepted work survives a process restart.
 	Cache *Cache
+	// Tenants supplies per-tenant fair-share weights and caps (nil: the
+	// open single-tenant registry — every job runs as "default" with no
+	// caps, the pre-tenancy behavior).
+	Tenants *tenant.Registry
 	// Dist, when non-nil, is offered every job before local execution
 	// (see Runner). Like SweepParallel it is an execution knob, not part
 	// of job identity: distribution may move the computation, never
@@ -90,17 +112,20 @@ type Options struct {
 
 // job is the scheduler's mutable record of one submission.
 type job struct {
-	id   string
-	spec *Spec
+	id     string
+	spec   *Spec
+	tenant string
 
-	mu       sync.Mutex
-	status   Status
-	cached   bool
-	result   []byte
-	errMsg   string
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	mu         sync.Mutex
+	status     Status
+	cached     bool
+	tombstoned bool // canceled explicitly; replay must keep it canceled
+	dispatched bool // popped from its tenant queue (queue counts moved)
+	result     []byte
+	errMsg     string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
 
 	progress *Progress
 	cancel   context.CancelFunc
@@ -112,6 +137,7 @@ type job struct {
 type JobView struct {
 	ID     string `json:"id"`
 	Kind   string `json:"kind"`
+	Tenant string `json:"tenant,omitempty"`
 	Spec   *Spec  `json:"spec"`
 	Status Status `json:"status"`
 	// Cached reports that the result was served from the result cache
@@ -138,23 +164,55 @@ type Counters struct {
 	Running     int64 `json:"running"`
 }
 
+// tenantQueue is one tenant's pending backlog plus its live scheduling
+// state. All fields are guarded by the scheduler's mu.
+type tenantQueue struct {
+	name   string
+	limits tenant.Limits
+
+	pending []*job // FIFO; canceled entries are skipped lazily at dispatch
+	queued  int    // non-canceled entries in pending
+	running int
+
+	// credit is the smooth-weighted-round-robin accumulator: each
+	// dispatch round every eligible tenant gains its weight, the largest
+	// credit wins the slot and pays the total weight back. The scheme
+	// guarantees a tenant with weight w gets at least one slot in any
+	// window of ceil(totalWeight/w) dispatches — the starvation-freedom
+	// bound the fair-share property test pins.
+	credit int
+
+	queuedGauge, runningGauge *obs.Gauge
+}
+
 // Scheduler runs jobs over a bounded worker pool with per-job
 // cancellation, deadline, and panic isolation, de-duplicating identical
 // specs in flight (two submissions of one hash share one job — the
 // singleflight the content hash makes trivial) and serving repeated specs
 // from the content-addressed cache.
+//
+// Dispatch is fair-share across tenants: each tenant has its own FIFO of
+// pending jobs, and free workers pick the next job by smooth weighted
+// round-robin over the tenants that have work and are under their
+// running cap. Every accepted job is journaled through the cache's
+// atomic-file layer (journal.go) and replayed on construction, so a
+// restart re-enqueues pending work and serves finished work
+// byte-identically from the result cache.
 type Scheduler struct {
-	opts  Options
-	cache *Cache
+	opts    Options
+	cache   *Cache
+	tenants *tenant.Registry
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
-	queue      chan *job
 	wg         sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	draining bool
+	mu          sync.Mutex
+	cond        *sync.Cond // signaled on enqueue, job end, and drain
+	jobs        map[string]*job
+	tq          map[string]*tenantQueue
+	queuedTotal int
+	draining    bool
 
 	counters struct {
 		submitted, completed, failed, canceled, cacheServed int64
@@ -172,11 +230,17 @@ type Scheduler struct {
 	logger *slog.Logger
 	met    struct {
 		submitted, completed, failed, canceled *obs.Counter
-		cacheServed, deduped                   *obs.Counter
+		cacheServed, deduped, tenantBusy       *obs.Counter
+
+		journalWrites, journalErrors    *obs.Counter
+		journalReplayed, journalSkipped *obs.Counter
+		journalTombstones               *obs.Counter
 	}
 }
 
-// NewScheduler starts a scheduler and its worker pool.
+// NewScheduler starts a scheduler: it replays the cache's job journal
+// (re-enqueueing work a previous process life accepted but did not
+// finish) and then starts the worker pool.
 func NewScheduler(opts Options) (*Scheduler, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 2
@@ -191,16 +255,22 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 			return nil, err
 		}
 	}
+	tenants := opts.Tenants
+	if tenants == nil {
+		tenants = tenant.Open()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
 		opts:       opts,
 		cache:      cache,
+		tenants:    tenants,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *job, opts.QueueDepth),
 		jobs:       make(map[string]*job),
+		tq:         make(map[string]*tenantQueue),
 		phaseMS:    make(map[string][]float64),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.reg = opts.Obs
 	if s.reg == nil {
 		s.reg = obs.Default()
@@ -214,6 +284,7 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 		s.logger = obs.NopLogger()
 	}
 	s.registerMetrics()
+	s.replayJournal()
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -232,13 +303,24 @@ func (s *Scheduler) registerMetrics() {
 	s.met.canceled = r.Counter("jobs_canceled_total", "Jobs canceled while queued or running.", nil)
 	s.met.cacheServed = r.Counter("jobs_cache_served_total", "Submissions answered with an existing result instead of new work.", nil)
 	s.met.deduped = r.Counter("jobs_dedup_inflight_total", "Submissions that joined an already-tracked job for the same content hash (singleflight).", nil)
-	r.GaugeFunc("jobs_queue_depth", "Jobs queued but not yet running.", nil, func() float64 {
-		return float64(len(s.queue))
+	s.met.tenantBusy = r.Counter("tenant_queue_rejections_total", "Submissions rejected 429 because the tenant was at its queued-jobs cap.", nil)
+	s.met.journalWrites = r.Counter("store_journal_writes_total", "Job-journal records written through the cache's atomic-file layer.", nil)
+	s.met.journalErrors = r.Counter("store_journal_errors_total", "Job-journal writes that failed (job continues in memory; durability degraded).", nil)
+	s.met.journalReplayed = r.Counter("store_journal_replayed_total", "Journal records rebuilt at boot (terminal jobs restored, pending jobs re-enqueued).", nil)
+	s.met.journalSkipped = r.Counter("store_journal_skipped_total", "Journal records that no longer decode and were skipped at boot.", nil)
+	s.met.journalTombstones = r.Counter("store_journal_tombstones_total", "Journal records tombstoned by an explicit cancel (stay canceled across restarts).", nil)
+	r.GaugeFunc("jobs_queue_depth", "Jobs queued but not yet running, across all tenants.", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.queuedTotal)
 	})
 	r.GaugeFunc("jobs_running", "Jobs currently executing.", nil, func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return float64(s.running)
+	})
+	r.GaugeFunc("store_journal_records", "Job-journal records currently held (memory and cache directory).", nil, func() float64 {
+		return float64(len(s.cache.JobRecords()))
 	})
 	cacheReading := func(read func(CacheStats) float64) func() float64 {
 		return func() float64 { return read(s.cache.Stats()) }
@@ -258,22 +340,75 @@ func (s *Scheduler) registerMetrics() {
 // Cache returns the scheduler's result cache.
 func (s *Scheduler) Cache() *Cache { return s.cache }
 
-// Submit normalizes, validates, and hashes spec, then returns the job for
-// that hash: the already-tracked job if one is queued, running, or done
-// (idempotent submission, singleflight de-duplication); a synthetic done
-// job if the cache holds the result; otherwise a freshly enqueued job. A
-// previously failed or canceled hash is resubmitted fresh — a canceled
-// run never poisons the cache or blocks a retry.
+// tenantOrDefault maps the empty tenant name (pre-tenancy journal
+// records, internal submitters) to the default tenant.
+func tenantOrDefault(name string) string {
+	if name == "" {
+		return tenant.DefaultName
+	}
+	return name
+}
+
+// tenantQueueLocked returns (creating on first use) the tenant's queue.
+// Callers hold s.mu.
+func (s *Scheduler) tenantQueueLocked(name string) *tenantQueue {
+	if tq, ok := s.tq[name]; ok {
+		return tq
+	}
+	tq := &tenantQueue{
+		name:   name,
+		limits: s.tenants.LimitsFor(name),
+		queuedGauge: s.reg.Gauge("tenant_jobs_queued", "Jobs queued but not yet running, by tenant.",
+			obs.Labels{"tenant": name}),
+		runningGauge: s.reg.Gauge("tenant_jobs_running", "Jobs currently executing, by tenant.",
+			obs.Labels{"tenant": name}),
+	}
+	s.tq[name] = tq
+	return tq
+}
+
+// enqueueLocked appends j to its tenant's pending queue and wakes one
+// worker. Callers hold s.mu and have already enforced the caps (journal
+// replay deliberately bypasses them).
+func (s *Scheduler) enqueueLocked(j *job) {
+	tq := s.tenantQueueLocked(j.tenant)
+	tq.pending = append(tq.pending, j)
+	tq.queued++
+	s.queuedTotal++
+	tq.queuedGauge.Set(int64(tq.queued))
+	s.cond.Signal()
+}
+
+// Submit runs the spec as the default tenant — the single-tenant entry
+// point internal submitters (campaign rounds) and tests use. See
+// SubmitAs.
+func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
+	return s.SubmitAs(tenant.DefaultName, spec)
+}
+
+// SubmitAs normalizes, validates, and hashes spec, then returns the job
+// for that hash: the already-tracked job if one is queued, running, or
+// done (idempotent submission, singleflight de-duplication); a synthetic
+// done job if the cache holds the result; otherwise a freshly enqueued
+// job owned by tenantName. A previously failed or canceled hash is
+// resubmitted fresh — a canceled run never poisons the cache or blocks a
+// retry.
+//
+// Tenancy never fragments the cache: the job ID is the content hash of
+// the spec alone, so two tenants submitting one spec share one job and
+// one result. The first submitter's tenant owns the job for fair-share
+// accounting.
 //
 // The returned bool reports whether this call enqueued new work. In the
 // returned view, Cached is true whenever the submission was answered with
 // an existing result (from the cache or from an already-completed job)
 // rather than by computing anything.
-func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
+func (s *Scheduler) SubmitAs(tenantName string, spec *Spec) (JobView, bool, error) {
 	id, err := spec.ID()
 	if err != nil {
 		return JobView{}, false, err
 	}
+	tenantName = tenantOrDefault(tenantName)
 
 	s.mu.Lock()
 	if s.draining {
@@ -299,6 +434,7 @@ func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
 	j := &job{
 		id:       id,
 		spec:     spec,
+		tenant:   tenantName,
 		status:   StatusQueued,
 		created:  time.Now(),
 		progress: NewProgress(),
@@ -321,23 +457,33 @@ func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
 		s.mu.Unlock()
 		s.met.submitted.Inc()
 		s.met.cacheServed.Inc()
+		s.journal(j)
 		s.jobLogger(id, spec.Kind).Debug("submission served from result cache")
 		return j.snapshot(), false, nil
 	}
 
-	select {
-	case s.queue <- j:
-	default:
+	if s.queuedTotal >= s.opts.QueueDepth {
 		s.mu.Unlock()
 		s.jobLogger(id, spec.Kind).Warn("submission rejected: queue full")
 		return JobView{}, false, ErrQueueFull
 	}
+	tq := s.tenantQueueLocked(tenantName)
+	if tq.limits.MaxQueued > 0 && tq.queued >= tq.limits.MaxQueued {
+		s.mu.Unlock()
+		s.met.tenantBusy.Inc()
+		s.jobLogger(id, spec.Kind).Warn("submission rejected: tenant queued cap", "tenant", tenantName)
+		return JobView{}, false, &TenantBusyError{Tenant: tenantName, RetryAfter: time.Second}
+	}
+	s.enqueueLocked(j)
 	s.jobs[id] = j
 	s.counters.submitted++
 	s.pruneLocked()
 	s.mu.Unlock()
 	s.met.submitted.Inc()
-	s.jobLogger(id, spec.Kind).Info("job queued")
+	s.reg.Counter("tenant_jobs_submitted_total", "Jobs enqueued, by owning tenant.",
+		obs.Labels{"tenant": tenantName}).Inc()
+	s.journal(j)
+	s.jobLogger(id, spec.Kind).Info("job queued", "tenant", tenantName)
 	return j.snapshot(), true, nil
 }
 
@@ -349,8 +495,9 @@ func (s *Scheduler) Submit(spec *Spec) (JobView, bool, error) {
 // resubmitted later is still served byte-identically.
 const maxTrackedJobs = 1024
 
-// pruneLocked drops the oldest terminal jobs beyond maxTrackedJobs.
-// Callers hold s.mu. Queued and running jobs are never pruned.
+// pruneLocked drops the oldest terminal jobs (and their journal records)
+// beyond maxTrackedJobs. Callers hold s.mu. Queued and running jobs are
+// never pruned.
 func (s *Scheduler) pruneLocked() {
 	if len(s.jobs) <= maxTrackedJobs {
 		return
@@ -378,6 +525,7 @@ func (s *Scheduler) pruneLocked() {
 			break
 		}
 		delete(s.jobs, t.id)
+		s.cache.DeleteJobRecord(t.id)
 	}
 }
 
@@ -436,8 +584,10 @@ func (s *Scheduler) Subscribe(id string) (JobView, <-chan Event, func(), bool) {
 
 // Cancel requests cancellation of a queued or running job. Cancelling a
 // queued job is immediate; a running job's context is cancelled and the
-// job reports canceled once its workload unwinds. Cancel returns false
-// for unknown IDs and does nothing to terminal jobs.
+// job reports canceled once its workload unwinds. Either way the job is
+// tombstoned in the journal, so an explicit cancel survives a restart —
+// replay keeps the job canceled instead of re-enqueueing it. Cancel
+// returns false for unknown IDs and does nothing to terminal jobs.
 func (s *Scheduler) Cancel(id string) bool {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -449,7 +599,9 @@ func (s *Scheduler) Cancel(id string) bool {
 	switch j.status {
 	case StatusQueued:
 		j.status = StatusCanceled
+		j.tombstoned = true
 		j.finished = time.Now()
+		wasDispatched := j.dispatched
 		cancelFn := j.cancel
 		j.mu.Unlock()
 		if cancelFn != nil {
@@ -460,16 +612,32 @@ func (s *Scheduler) Cancel(id string) bool {
 		close(j.done)
 		s.mu.Lock()
 		s.counters.canceled++
+		// The entry stays in its tenant's pending slice (dispatch skips
+		// it); only the live counts move. A job already handed to a
+		// worker had its counts moved by dispatch — runJob will observe
+		// the canceled status and return the slot.
+		if tq, ok := s.tq[j.tenant]; ok && !wasDispatched {
+			tq.queued--
+			s.queuedTotal--
+			tq.queuedGauge.Set(int64(tq.queued))
+		}
 		s.mu.Unlock()
 		s.met.canceled.Inc()
+		s.met.journalTombstones.Inc()
+		s.journal(j)
 		s.jobLogger(j.id, j.spec.Kind).Info("job canceled while queued")
 		return true
 	case StatusRunning:
+		j.tombstoned = true
 		cancelFn := j.cancel
 		j.mu.Unlock()
 		if cancelFn != nil {
 			cancelFn()
 		}
+		// Journal the tombstone now, not when the job unwinds: a SIGKILL
+		// between this cancel and the unwind must not resurrect the job.
+		s.met.journalTombstones.Inc()
+		s.journal(j)
 		return true
 	default:
 		j.mu.Unlock()
@@ -504,7 +672,7 @@ func (s *Scheduler) Counters() Counters {
 		Failed:      s.counters.failed,
 		Canceled:    s.counters.canceled,
 		CacheServed: s.counters.cacheServed,
-		QueueDepth:  int64(len(s.queue)),
+		QueueDepth:  int64(s.queuedTotal),
 		Running:     s.running,
 	}
 }
@@ -524,12 +692,13 @@ func (s *Scheduler) PhaseLatencies() map[string]stats.Summary {
 
 // Shutdown stops accepting submissions, cancels every queued and running
 // job, and waits for the workers to drain — at most until ctx is done.
+// Jobs canceled purely by the drain keep queued journal records, so the
+// next process life resumes them; explicitly canceled jobs stay
+// canceled (tombstones).
 func (s *Scheduler) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
-		close(s.queue)
-	}
+	s.draining = true
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.baseCancel() // cancels the context under every running job
 	drained := make(chan struct{})
@@ -547,17 +716,111 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
 		s.runJob(j)
 	}
-	// Drain path: the queue is closed; any job still queued was either
-	// cancelled explicitly or is abandoned by shutdown — runJob marks
-	// those canceled immediately because the base context is done.
+	// Drain path: next keeps handing out the remaining queued jobs after
+	// Shutdown (the base context is already done, so runJob unwinds each
+	// immediately as canceled) and returns nil once the backlog is empty.
+}
+
+// next blocks until a job is dispatchable and returns it, or returns nil
+// when the scheduler is draining and the backlog is empty. Dispatch
+// increments the running counts; runJob's completion path decrements
+// them.
+func (s *Scheduler) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if j := s.dispatchLocked(); j != nil {
+			return j
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// dispatchLocked picks the next job by smooth weighted round-robin over
+// the tenants that have pending work and are under their running cap
+// (caps are ignored while draining — every queued job must still pass
+// through a worker to be canceled and journaled). Callers hold s.mu.
+func (s *Scheduler) dispatchLocked() *job {
+	var eligible []*tenantQueue
+	for _, tq := range s.tq {
+		if tq.queued == 0 {
+			continue
+		}
+		if !s.draining && tq.limits.MaxRunning > 0 && tq.running >= tq.limits.MaxRunning {
+			continue
+		}
+		eligible = append(eligible, tq)
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	// Deterministic credit accounting: tenants gain credit in name order
+	// and the largest credit wins (ties to the lexicographically first).
+	sort.Slice(eligible, func(i, k int) bool { return eligible[i].name < eligible[k].name })
+	total := 0
+	for _, tq := range eligible {
+		total += tq.limits.NormWeight()
+	}
+	var pick *tenantQueue
+	for _, tq := range eligible {
+		tq.credit += tq.limits.NormWeight()
+		if pick == nil || tq.credit > pick.credit {
+			pick = tq
+		}
+	}
+	pick.credit -= total
+
+	for len(pick.pending) > 0 {
+		j := pick.pending[0]
+		pick.pending = pick.pending[1:]
+		j.mu.Lock()
+		st := j.status
+		if st == StatusQueued {
+			j.dispatched = true
+		}
+		j.mu.Unlock()
+		if st != StatusQueued {
+			// Canceled while queued; Cancel already moved the counts.
+			continue
+		}
+		pick.queued--
+		s.queuedTotal--
+		pick.running++
+		s.running++
+		pick.queuedGauge.Set(int64(pick.queued))
+		pick.runningGauge.Set(int64(pick.running))
+		return j
+	}
+	return nil
+}
+
+// jobEnded returns a dispatched job's slot: the worker is free and a
+// capped tenant may have become eligible again.
+func (s *Scheduler) jobEnded(j *job) {
+	s.mu.Lock()
+	s.running--
+	if tq, ok := s.tq[j.tenant]; ok {
+		tq.running--
+		tq.runningGauge.Set(int64(tq.running))
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // runJob executes one job with cancellation, deadline, and panic
-// isolation, then records the outcome.
+// isolation, then records the outcome (in memory and in the journal).
 func (s *Scheduler) runJob(j *job) {
+	defer s.jobEnded(j)
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if s.opts.JobTimeout > 0 {
@@ -577,9 +840,7 @@ func (s *Scheduler) runJob(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	j.mu.Unlock()
-	s.mu.Lock()
-	s.running++
-	s.mu.Unlock()
+	s.journal(j)
 
 	// The job's context carries the correlation ID, logger, and a root
 	// span; the spec runners and the experiments registry hang their
@@ -589,6 +850,7 @@ func (s *Scheduler) runJob(j *job) {
 	ctx, span := s.tracer.Start(ctx, "job "+j.spec.Kind)
 	span.SetAttr("job_id", obs.ShortID(j.id))
 	span.SetAttr("kind", j.spec.Kind)
+	span.SetAttr("tenant", j.tenant)
 	obs.Logger(ctx).Info("job started")
 
 	result, err := s.runIsolated(ctx, j)
@@ -614,6 +876,9 @@ func (s *Scheduler) runJob(j *job) {
 	if status == StatusDone {
 		// Populate the content-addressed cache; a failed persist demotes
 		// the job to failed rather than caching silently-volatile state.
+		// The cache write precedes the journal's "done" record, so a
+		// crash between the two replays as a pending job that hits the
+		// cache — never a "done" record without its bytes.
 		if cerr := s.cache.Put(j.id, result); cerr != nil {
 			j.mu.Lock()
 			j.status = StatusFailed
@@ -623,13 +888,13 @@ func (s *Scheduler) runJob(j *job) {
 			j.mu.Unlock()
 		}
 	}
+	s.journalTerminal(j, status)
 
 	j.progress.Set(string(status), 0, 0)
 	j.progress.Close()
 	close(j.done)
 
 	s.mu.Lock()
-	s.running--
 	switch status {
 	case StatusDone:
 		s.counters.completed++
@@ -669,6 +934,40 @@ func (s *Scheduler) runJob(j *job) {
 	if status == StatusDone {
 		s.recordPhases(j)
 	}
+}
+
+// journalTerminal writes a finished job's journal record. One special
+// case: a job canceled only because the scheduler is draining (graceful
+// shutdown) is journaled back as queued — the cancel was the process
+// stopping, not the user changing their mind, so the next life resumes
+// it. Explicit cancels are tombstoned by Cancel and stay canceled.
+func (s *Scheduler) journalTerminal(j *job, status Status) {
+	j.mu.Lock()
+	tombstoned := j.tombstoned
+	j.mu.Unlock()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if status == StatusCanceled && !tombstoned && draining {
+		j.mu.Lock()
+		rec := j.journalRecordLocked()
+		j.mu.Unlock()
+		rec.Status = StatusQueued
+		rec.Error = ""
+		rec.Started, rec.Finished = nil, nil
+		data, err := json.Marshal(rec)
+		if err == nil {
+			err = s.cache.PutJobRecord(rec.ID, data)
+		}
+		if err != nil {
+			s.met.journalErrors.Inc()
+			return
+		}
+		s.met.journalWrites.Inc()
+		s.jobLogger(j.id, j.spec.Kind).Info("drained job journaled as queued for resume")
+		return
+	}
+	s.journal(j)
 }
 
 // runSpecFn is the spec executor; tests swap it to exercise panic
@@ -725,6 +1024,7 @@ func (j *job) snapshot() JobView {
 	v := JobView{
 		ID:       j.id,
 		Kind:     j.spec.Kind,
+		Tenant:   j.tenant,
 		Spec:     j.spec,
 		Status:   j.status,
 		Cached:   j.cached,

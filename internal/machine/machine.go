@@ -228,13 +228,13 @@ type Machine struct {
 	pending    Action
 	hasPending bool
 	done       bool
-	ret       shmem.Value
-	crash     error
-	numTosses int
-	steps     int
-	events    int
-	dig       digest
-	noHistory bool
+	ret        shmem.Value
+	crash      error
+	numTosses  int
+	steps      int
+	events     int
+	dig        digest
+	noHistory  bool
 }
 
 // Start launches process id of n running alg under the session's default

@@ -1,0 +1,109 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token-bucket rate limiter: capacity burst, refilled at
+// rate tokens per second. A zero rate means unlimited — Allow always
+// succeeds. Buckets are safe for concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // test seam
+}
+
+// NewBucket builds a bucket that starts full. burst ≤ 0 with a positive
+// rate defaults to ceil(rate) (at least 1), so "ratePerSec: 10" alone is
+// a sensible config.
+func NewBucket(rate float64, burst int) *Bucket {
+	b := &Bucket{rate: rate, now: time.Now}
+	if rate > 0 {
+		if burst <= 0 {
+			burst = int(math.Ceil(rate))
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		b.burst = float64(burst)
+		b.tokens = b.burst
+	}
+	b.last = b.now()
+	return b
+}
+
+// Allow takes one token. When the bucket is empty it returns false and
+// the duration after which a retry can succeed — the Retry-After the
+// HTTP layer serves with a 429.
+func (b *Bucket) Allow() (bool, time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// Limiter keeps one bucket per tenant, built lazily from the registry's
+// configured rate.
+type Limiter struct {
+	reg     *Registry
+	mu      sync.Mutex
+	buckets map[string]*Bucket
+}
+
+// NewLimiter builds a limiter over the registry's tenants.
+func NewLimiter(reg *Registry) *Limiter {
+	return &Limiter{reg: reg, buckets: make(map[string]*Bucket)}
+}
+
+// Allow meters one request for the tenant, lazily creating its bucket.
+func (l *Limiter) Allow(t Tenant) (bool, time.Duration) {
+	if t.RatePerSec <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	b, ok := l.buckets[t.Name]
+	if !ok {
+		b = NewBucket(t.RatePerSec, t.Burst)
+		l.buckets[t.Name] = b
+	}
+	l.mu.Unlock()
+	return b.Allow()
+}
+
+// setNow rewires every existing and future bucket clock; tests use it to
+// drive refill deterministically.
+func (l *Limiter) setNow(t Tenant, now func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[t.Name]
+	if !ok {
+		b = NewBucket(t.RatePerSec, t.Burst)
+		l.buckets[t.Name] = b
+	}
+	b.mu.Lock()
+	b.now = now
+	b.last = now()
+	b.tokens = b.burst
+	b.mu.Unlock()
+}

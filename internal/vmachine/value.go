@@ -38,13 +38,13 @@ type Kind uint8
 // which int(1) and int64(1) differ, so the VM must preserve the exact
 // dynamic type an algorithm body would have produced.
 const (
-	KNil Kind = iota
-	KInt      // Go int, payload in I
-	KI64      // Go int64 (coin-toss outcomes), payload in I
-	KBool     // payload in I (0 or 1)
-	KStr      // payload in S
-	KSet      // payload in Set; never escapes to shared memory unencoded
-	KAny      // fallback for exotic shared-register values, payload in Any
+	KNil  Kind = iota
+	KInt       // Go int, payload in I
+	KI64       // Go int64 (coin-toss outcomes), payload in I
+	KBool      // payload in I (0 or 1)
+	KStr       // payload in S
+	KSet       // payload in Set; never escapes to shared memory unencoded
+	KAny       // fallback for exotic shared-register values, payload in Any
 )
 
 // Value is a tagged VM value: one word of kind plus unboxed payloads for
@@ -61,11 +61,11 @@ type Value struct {
 }
 
 // Convenience constructors.
-func Nil() Value          { return Value{} }
-func Int(v int) Value     { return Value{Kind: KInt, I: int64(v)} }
-func I64(v int64) Value   { return Value{Kind: KI64, I: v} }
-func Bool(v bool) Value   { return Value{Kind: KBool, I: b2i(v)} }
-func Str(s string) Value  { return Value{Kind: KStr, S: s} }
+func Nil() Value                { return Value{} }
+func Int(v int) Value           { return Value{Kind: KInt, I: int64(v)} }
+func I64(v int64) Value         { return Value{Kind: KI64, I: v} }
+func Bool(v bool) Value         { return Value{Kind: KBool, I: b2i(v)} }
+func Str(s string) Value        { return Value{Kind: KStr, S: s} }
 func Set(s shmem.PidBits) Value { return Value{Kind: KSet, Set: s} }
 
 func b2i(v bool) int64 {

@@ -59,8 +59,8 @@ func setArg(v vmachine.Value) shmem.PidBits {
 }
 
 // Expression shorthands for the programs below.
-func vInt(v int) vmachine.Expr      { return vmachine.ConstE{V: vmachine.Int(v)} }
-func vNil() vmachine.Expr           { return vmachine.ConstE{V: vmachine.Nil()} }
+func vInt(v int) vmachine.Expr       { return vmachine.ConstE{V: vmachine.Int(v)} }
+func vNil() vmachine.Expr            { return vmachine.ConstE{V: vmachine.Nil()} }
 func vVar(name string) vmachine.Expr { return vmachine.VarE{Name: name} }
 
 func setRegisterProgram() *vmachine.Program {

@@ -1,0 +1,204 @@
+#!/bin/sh
+# restart_smoke.sh — restart-durability smoke test of cmd/lbserver: the
+# write-ahead job journal must make accepted work survive a SIGKILL.
+#
+#   1. Start lbserver with a cache dir; run one quick job to done, start a
+#      slow job on the single worker, queue a quick job behind it, and
+#      queue-then-DELETE a fourth job (the tombstone).
+#   2. SIGKILL the server mid-run — no drain, no goodbye.
+#   3. Restart over the same cache dir and assert, WITHOUT resubmitting:
+#      the finished job is served byte-identically (cache-file hash
+#      compare), the pending jobs were re-enqueued by journal replay and
+#      complete, and the deleted job stays canceled (tombstone).
+#   4. Run the interrupted specs on a fresh server with a fresh cache dir
+#      and assert the post-restart results are content-identical to that
+#      reference run — the determinism contract across process lives.
+set -eu
+
+ADDR=${LBSERVER_ADDR:-127.0.0.1:18474}
+REF_ADDR=${LBSERVER_REF_ADDR:-127.0.0.1:18475}
+BASE="http://$ADDR"
+REF_BASE="http://$REF_ADDR"
+TMP=$(mktemp -d)
+SERVER_PID=
+REF_PID=
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    [ -n "$REF_PID" ] && kill "$REF_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+hash_file() {
+    if command -v sha256sum >/dev/null 2>&1; then
+        sha256sum "$1" | cut -d' ' -f1
+    else
+        shasum -a 256 "$1" | cut -d' ' -f1
+    fi
+}
+
+wait_healthy() {
+    i=0
+    until curl -fsS "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "restart-smoke: server at $1 never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+# submit BASE SPEC -> job id on stdout
+submit() {
+    resp=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$2" "$1/v1/jobs")
+    id=$(printf '%s' "$resp" | grep -o '"id":"[0-9a-f]\{64\}"' | head -1 | cut -d'"' -f4)
+    if [ -z "$id" ]; then
+        echo "restart-smoke: no job ID in response: $resp" >&2
+        exit 1
+    fi
+    printf '%s' "$id"
+}
+
+# job_status BASE ID -> status on stdout (empty when the job is unknown)
+job_status() {
+    curl -fsS "$1/v1/jobs/$2" 2>/dev/null |
+        grep -o '"status":"[a-z]*"' | head -1 | cut -d'"' -f4 || true
+}
+
+# wait_done BASE ID LABEL: poll until done; fail on failed/canceled
+wait_done() {
+    i=0
+    while [ "$i" -lt 600 ]; do
+        status=$(job_status "$1" "$2")
+        case "$status" in
+        done) return 0 ;;
+        failed | canceled)
+            echo "restart-smoke: $3 ended $status" >&2
+            exit 1
+            ;;
+        esac
+        i=$((i + 1))
+        sleep 0.2
+    done
+    echo "restart-smoke: $3 never finished (last status: $status)" >&2
+    exit 1
+}
+
+echo "restart-smoke: building lbserver"
+go build -o "$TMP/lbserver" ./cmd/lbserver
+
+CACHE="$TMP/cache"
+"$TMP/lbserver" -addr "$ADDR" -workers 1 -cache-dir "$CACHE" &
+SERVER_PID=$!
+wait_healthy "$BASE"
+
+QUICK_SPEC='{"kind":"report","report":{"experiments":["E9"],"quick":true}}'
+SLOW_SPEC='{"kind":"explore","explore":{"alg":"central","n":3,"mode":"fuzz","samples":60000}}'
+QUEUED_SPEC='{"kind":"explore","explore":{"alg":"central","n":2,"mode":"exhaustive"}}'
+DELETED_SPEC='{"kind":"explore","explore":{"alg":"central","n":2,"mode":"fuzz","samples":10,"seed":99}}'
+
+done_id=$(submit "$BASE" "$QUICK_SPEC")
+wait_done "$BASE" "$done_id" "quick job"
+done_hash_before=$(hash_file "$CACHE/$done_id.json")
+echo "restart-smoke: job $done_id done (result hash $done_hash_before)"
+
+slow_id=$(submit "$BASE" "$SLOW_SPEC")
+i=0
+until [ "$(job_status "$BASE" "$slow_id")" = running ]; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "restart-smoke: slow job never started running" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+queued_id=$(submit "$BASE" "$QUEUED_SPEC")
+deleted_id=$(submit "$BASE" "$DELETED_SPEC")
+curl -fsS -X DELETE "$BASE/v1/jobs/$deleted_id" >/dev/null
+echo "restart-smoke: slow $slow_id running, $queued_id queued, $deleted_id deleted"
+
+# The journal must already hold all four records — they were durable
+# before the submissions were acknowledged.
+for id in "$done_id" "$slow_id" "$queued_id" "$deleted_id"; do
+    if [ ! -f "$CACHE/$id.job.json" ]; then
+        echo "restart-smoke: journal record $id.job.json missing before the kill" >&2
+        exit 1
+    fi
+done
+
+echo "restart-smoke: SIGKILLing the server mid-run"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+
+"$TMP/lbserver" -addr "$ADDR" -workers 1 -cache-dir "$CACHE" &
+SERVER_PID=$!
+wait_healthy "$BASE"
+echo "restart-smoke: server restarted over the same cache dir"
+
+# The finished job is tracked without resubmission and served from the
+# cache — and its result file is byte-identical (hash compare).
+status=$(job_status "$BASE" "$done_id")
+if [ "$status" != done ]; then
+    echo "restart-smoke: finished job replayed as '$status', want done" >&2
+    exit 1
+fi
+curl -fsS "$BASE/v1/jobs/$done_id" | grep -q '"cached":true' || {
+    echo "restart-smoke: replayed finished job is not served as cached" >&2
+    exit 1
+}
+done_hash_after=$(hash_file "$CACHE/$done_id.json")
+if [ "$done_hash_after" != "$done_hash_before" ]; then
+    echo "restart-smoke: result file changed across restart: $done_hash_before -> $done_hash_after" >&2
+    exit 1
+fi
+echo "restart-smoke: finished job served byte-identically after restart"
+
+# The tombstoned job stays canceled — DELETE survives the SIGKILL.
+status=$(job_status "$BASE" "$deleted_id")
+if [ "$status" != canceled ]; then
+    echo "restart-smoke: deleted job replayed as '$status', want canceled" >&2
+    exit 1
+fi
+echo "restart-smoke: deleted job stayed canceled (tombstone)"
+
+# The interrupted and queued jobs were re-enqueued by journal replay (no
+# resubmission happened on this connection) and run to completion.
+for id in "$slow_id" "$queued_id"; do
+    status=$(job_status "$BASE" "$id")
+    if [ -z "$status" ]; then
+        echo "restart-smoke: job $id unknown after restart — journal replay lost it" >&2
+        exit 1
+    fi
+done
+wait_done "$BASE" "$slow_id" "re-enqueued slow job"
+wait_done "$BASE" "$queued_id" "re-enqueued queued job"
+slow_hash=$(hash_file "$CACHE/$slow_id.json")
+queued_hash=$(hash_file "$CACHE/$queued_id.json")
+echo "restart-smoke: re-enqueued jobs completed ($slow_hash, $queued_hash)"
+
+# Reference run: the same specs in a fresh cache dir must produce
+# content-identical results — re-running after a crash changed nothing.
+"$TMP/lbserver" -addr "$REF_ADDR" -workers 1 -cache-dir "$TMP/ref-cache" &
+REF_PID=$!
+wait_healthy "$REF_BASE"
+ref_slow_id=$(submit "$REF_BASE" "$SLOW_SPEC")
+ref_queued_id=$(submit "$REF_BASE" "$QUEUED_SPEC")
+if [ "$ref_slow_id" != "$slow_id" ] || [ "$ref_queued_id" != "$queued_id" ]; then
+    echo "restart-smoke: reference run produced different job IDs" >&2
+    exit 1
+fi
+wait_done "$REF_BASE" "$ref_slow_id" "reference slow job"
+wait_done "$REF_BASE" "$ref_queued_id" "reference queued job"
+if [ "$(hash_file "$TMP/ref-cache/$ref_slow_id.json")" != "$slow_hash" ]; then
+    echo "restart-smoke: slow job result differs from the reference run" >&2
+    exit 1
+fi
+if [ "$(hash_file "$TMP/ref-cache/$ref_queued_id.json")" != "$queued_hash" ]; then
+    echo "restart-smoke: queued job result differs from the reference run" >&2
+    exit 1
+fi
+
+echo "restart-smoke: ok — journal replay re-enqueued pending work, kept the tombstone, and served terminal results byte-identically"
