@@ -18,11 +18,11 @@ BENCH_SHA ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo local)
 # exploration hot paths this codebase optimizes for, kept quick enough
 # for CI. Timing diffs only gate when baseline and current ran on the
 # same CPU model; allocation and paper-level metrics always gate.
-HOTPATH_BENCH ?= E1WakeupForcedSteps|ShmemLLSC|PsetChurn|ValuesEqual|MaxSteps|LLSCFingerprint|ExhaustiveExplore|MachineStep|VMStep|CampaignExec
+HOTPATH_BENCH ?= E1WakeupForcedSteps|ShmemLLSC|PsetChurn|ValuesEqual|MaxSteps|LLSCFingerprint|ExhaustiveExplore|MachineStep|VMStep|CampaignExec|TASStep|BWLLSC
 # Committed baseline artifact to diff against (first BENCH_*.json here).
 BENCH_BASELINE ?= $(firstword $(wildcard BENCH_*.json))
 
-.PHONY: build vet test race check smoke serve-smoke dist-smoke campaign-smoke restart-smoke bench bench-json bench-compare profile report mutation cover fuzz-short vm-equivalence explore-smoke ci
+.PHONY: build vet test race check smoke serve-smoke dist-smoke campaign-smoke restart-smoke bench bench-json bench-compare profile report mutation cover fuzz-short vm-equivalence tas-equivalence explore-smoke ci
 
 build:
 	$(GO) build ./...
@@ -100,7 +100,7 @@ report:
 # Prove the schedule explorer detects real bugs: the deliberately broken
 # construction behind the mutation tag must be caught, shrunk, and replayed.
 mutation:
-	$(GO) test -tags mutation ./internal/explore/ ./internal/universal/ ./internal/campaign/
+	$(GO) test -tags mutation ./internal/explore/ ./internal/universal/ ./internal/campaign/ ./internal/algos/tas/
 
 # Coverage gate: fail if internal/... statement coverage drops below
 # COVER_MIN percent.
@@ -121,6 +121,7 @@ fuzz-short:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzUPMonotone$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/shmem/ -run '^$$' -fuzz '^FuzzRegStateEqual$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lockstep/ -run '^$$' -fuzz '^FuzzVMEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/algos/tas/ -run '^$$' -fuzz '^FuzzTAS$$' -fuzztime $(FUZZTIME)
 
 # Differential proof that the bytecode VM and the goroutine interpreter are
 # observably identical: exhaustive lockstep exploration at n ∈ {2,3} for
@@ -130,11 +131,22 @@ vm-equivalence:
 	$(GO) test ./internal/vmachine/ ./internal/machine/ ./internal/lockstep/
 	$(GO) test -race ./internal/lockstep/
 
+# Differential proof that the zoo's TAS protocols and the Blelloch–Wei
+# LL/SC backend are equivalent to their references: both-engine lockstep
+# goldens for the TAS algorithms, the randomized-vs-native backend
+# differential, and the exhaustive backend-equality harness
+# (TestExhaustiveBackendsEqual — byte-identical exploration reports).
+tas-equivalence:
+	$(GO) test ./internal/algos/... -run 'TestLockstep|TestSemantics|TestDifferentialAgainstNative|TestFingerprintAllocationParity'
+	$(GO) test ./internal/explore/ -run 'TestExhaustiveBackendsEqual|TestTAS'
+
 # Exhaustive schedule exploration of every construction at small n.
 explore-smoke:
 	$(GO) run ./cmd/explore -alg group-update -n 2
 	$(GO) run ./cmd/explore -alg herlihy -n 2
 	$(GO) run ./cmd/explore -alg central -n 2
 	$(GO) run ./cmd/explore -alg central -n 3
+	$(GO) run ./cmd/explore -alg tas-tv -object tas -n 2
+	$(GO) run ./cmd/explore -alg tas-tournament -object tas -n 2 -llsc bw
 
 ci: build vet test race smoke mutation cover

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 
+	"jayanti98/internal/algos"
+	"jayanti98/internal/algos/bwllsc"
 	"jayanti98/internal/campaign"
 	"jayanti98/internal/core"
 	"jayanti98/internal/explore"
@@ -21,6 +23,7 @@ import (
 	"jayanti98/internal/machine"
 	"jayanti98/internal/moveplan"
 	"jayanti98/internal/objtype"
+	"jayanti98/internal/sched"
 	"jayanti98/internal/shmem"
 	"jayanti98/internal/sweep"
 	"jayanti98/internal/universal"
@@ -565,4 +568,61 @@ func BenchmarkCampaignExec(b *testing.B) {
 		b.Fatal("campaign rounds kept no corpus entries")
 	}
 	b.ReportMetric(float64(execs)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// BenchmarkTASStep measures whole-execution throughput of the zoo's
+// tournament test&set: one iteration is a complete 8-process run (schedule:
+// round-robin, hashed tosses from a seed pre-checked to terminate), and the
+// metric is shared-memory steps per second — the raw-mode exploration and
+// E13/E14 hot path.
+func BenchmarkTASStep(b *testing.B) {
+	const n = 8
+	alg, err := algos.New("tas-tournament", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Find the first completing seed outside the timer (randomized
+	// protocols may livelock under an unlucky schedule/toss pairing).
+	seed := int64(-1)
+	for s := int64(0); s < 50; s++ {
+		if _, err := sched.Execute(alg, n, llsc.New(n), &sched.RoundRobin{}, lowerbound.HashTosses(s), 256*n); err == nil {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		b.Fatal("no completing seed in 50 attempts")
+	}
+	ta := lowerbound.HashTosses(seed)
+	b.ResetTimer()
+	var steps int
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Execute(alg, n, llsc.New(n), &sched.RoundRobin{}, ta, 256*n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.TotalSteps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// BenchmarkBWLLSC measures the per-operation overhead of the Blelloch–Wei
+// pointer-based LL/SC backend against the native pset-based memory on the
+// same LL;SC loop — the cost E15 deliberately leaves out of its
+// deterministic tables.
+func BenchmarkBWLLSC(b *testing.B) {
+	b.Run("native", func(b *testing.B) {
+		m := llsc.New(1)
+		for i := 0; i < b.N; i++ {
+			m.Apply(0, shmem.Op{Kind: shmem.OpLL, Reg: 0})
+			m.Apply(0, shmem.Op{Kind: shmem.OpSC, Reg: 0, Arg: i})
+		}
+	})
+	b.Run("bw", func(b *testing.B) {
+		m := bwllsc.New(1)
+		for i := 0; i < b.N; i++ {
+			m.Apply(0, shmem.Op{Kind: shmem.OpLL, Reg: 0})
+			m.Apply(0, shmem.Op{Kind: shmem.OpSC, Reg: 0, Arg: i})
+		}
+	})
 }

@@ -1,10 +1,12 @@
 // Command explore searches the schedule space of a universal construction
-// for linearizability violations, crashes, and budget (liveness) bugs.
+// or of a zoo algorithm (internal/algos) for linearizability violations,
+// crashes, and budget (liveness) bugs.
 //
 // Usage:
 //
 //	explore [-alg name] [-object workload] [-n N] [-k ops] [-mode exhaustive|fuzz]
 //	        [-samples S] [-seed V] [-budget B] [-parallel P] [-out dir] [-engine E]
+//	        [-llsc native|bw]
 //	explore -replay file.json
 //
 // Exhaustive mode enumerates every interleaving (with memoized-state
@@ -28,7 +30,9 @@ import (
 	"strings"
 	"syscall"
 
+	"jayanti98/internal/algos"
 	"jayanti98/internal/explore"
+	"jayanti98/internal/llsc"
 	"jayanti98/internal/machine"
 	"jayanti98/internal/universal"
 )
@@ -45,13 +49,15 @@ type options struct {
 	Parallel int
 	Out      string
 	Replay   string
+	LLSC     string
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("explore: ")
 	var opts options
-	flag.StringVar(&opts.Alg, "alg", "group-update", "construction under test: "+strings.Join(universal.Names(), ", "))
+	flag.StringVar(&opts.Alg, "alg", "group-update", "system under test: a construction ("+
+		strings.Join(universal.Names(), ", ")+") or a zoo algorithm ("+strings.Join(algos.Names(), ", ")+")")
 	flag.StringVar(&opts.Object, "object", "fetch-increment", "workload: "+strings.Join(explore.Workloads(), ", "))
 	flag.IntVar(&opts.N, "n", 2, "number of processes")
 	flag.IntVar(&opts.K, "k", 1, "operations per process")
@@ -62,6 +68,7 @@ func main() {
 	flag.IntVar(&opts.Parallel, "parallel", 0, "worker goroutines (default one per CPU; 1 = serial)")
 	flag.StringVar(&opts.Out, "out", "", "fuzz: directory for JSON replay files of failures")
 	flag.StringVar(&opts.Replay, "replay", "", "re-execute a replay file bit-for-bit and exit")
+	flag.StringVar(&opts.LLSC, "llsc", "", "shared-memory backend: native or bw (default $LB_LLSC, else native)")
 	engine := flag.String("engine", "", "execution engine: auto, goroutine, or vm (default $LB_ENGINE, else auto)")
 	flag.Parse()
 	if *engine != "" {
@@ -71,6 +78,10 @@ func main() {
 			os.Exit(2)
 		}
 		machine.SetDefaultEngine(eng)
+	}
+	if _, err := llsc.ParseBackend(opts.LLSC); err != nil {
+		log.Print(err)
+		os.Exit(2)
 	}
 
 	// SIGINT/SIGTERM cancel the search context: in-flight samples stop
@@ -100,6 +111,7 @@ func run(ctx context.Context, w io.Writer, opts options) (bool, error) {
 		N:          opts.N,
 		OpsPerProc: opts.K,
 		Budget:     opts.Budget,
+		LLSC:       opts.LLSC,
 	}
 	switch opts.Mode {
 	case "exhaustive":
@@ -107,8 +119,8 @@ func run(ctx context.Context, w io.Writer, opts options) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		fmt.Fprintf(w, "exhaustive %s/%s n=%d k=%d budget=%d: %d states, %d runs, %d complete\n",
-			cfg.Alg, cfg.Object, cfg.N, cfg.OpsPerProc, rep.Cfg.Budget, rep.States, rep.Runs, rep.Complete)
+		fmt.Fprintf(w, "exhaustive %s/%s n=%d k=%d budget=%d: %d states, %d runs, %d complete, %d truncated\n",
+			cfg.Alg, cfg.Object, cfg.N, cfg.OpsPerProc, rep.Cfg.Budget, rep.States, rep.Runs, rep.Complete, rep.Truncated)
 		if rep.Failure == nil {
 			fmt.Fprintf(w, "no failures: every interleaving linearizes\n")
 			return false, nil

@@ -10,8 +10,13 @@
 //
 //	wakeupsim [-alg set-register|double-register|move-courier|cheater|
 //	           counting-network|fetch&increment|fetch&and|fetch&or|
-//	           fetch&complement|fetch&multiply|queue|stack|read-increment]
+//	           fetch&complement|fetch&multiply|queue|stack|read-increment|
+//	           test&set]
 //	          [-n 16] [-seed 1] [-rounds] [-catch] [-json]
+//
+// The test&set reduction (the algorithm zoo's, wakeup.TASReduction) is
+// accepted only at n ≤ 2: test&set is not perturbable, and a loser among
+// three or more processes cannot conclude that everyone has stepped.
 package main
 
 import (
@@ -218,6 +223,13 @@ func buildAlgorithm(name string, n int) (machine.Algorithm, error) {
 			alg, _, err := lowerbound.BuildReduction(spec, "group-update", n)
 			return alg, err
 		}
+	}
+	if tas := wakeup.TASReduction(); name == tas.Name {
+		if n > 2 {
+			return nil, fmt.Errorf("the test&set reduction is sound only at n <= 2 (test&set is not perturbable), got n = %d", n)
+		}
+		alg, _, err := lowerbound.BuildReduction(tas, "group-update", n)
+		return alg, err
 	}
 	return nil, fmt.Errorf("unknown algorithm %q", name)
 }

@@ -1,0 +1,201 @@
+package bwllsc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jayanti98/internal/algos/bwllsc"
+	"jayanti98/internal/llsc"
+	"jayanti98/internal/shmem"
+)
+
+// TestSemantics walks the LL/SC contract by hand on the pointer-based
+// implementation: a successful SC requires a link, succeeds exactly once
+// per installed version, and breaks every other process's link to that
+// version; Swap and Move break all links; a self-move is a charged no-op.
+func TestSemantics(t *testing.T) {
+	m := bwllsc.New(3)
+	h0, h1 := m.Handle(0), m.Handle(1)
+
+	if ok, _ := h0.SC(0, 9); ok {
+		t.Fatal("SC without LL succeeded")
+	}
+	if v := h0.LL(0); v != nil {
+		t.Fatalf("initial LL = %v, want nil", v)
+	}
+	if v := h1.LL(0); v != nil {
+		t.Fatalf("initial LL = %v, want nil", v)
+	}
+	if ok, prev := h0.SC(0, 10); !ok || prev != nil {
+		t.Fatalf("linked SC = (%v, %v), want (true, nil)", ok, prev)
+	}
+	// h0's own SC consumed the version: a second SC from h0 must fail, and
+	// h1's link to the old version is broken.
+	if ok, prev := h0.SC(0, 11); ok || prev != 10 {
+		t.Fatalf("repeat SC = (%v, %v), want (false, 10)", ok, prev)
+	}
+	if ok, cur := h1.Validate(0); ok || cur != 10 {
+		t.Fatalf("stale Validate = (%v, %v), want (false, 10)", ok, cur)
+	}
+	if ok, _ := h1.SC(0, 12); ok {
+		t.Fatal("stale SC succeeded")
+	}
+
+	// Swap breaks links.
+	h0.LL(0)
+	if prev := h1.Swap(0, 20); prev != 10 {
+		t.Fatalf("Swap prev = %v, want 10", prev)
+	}
+	if ok, _ := h0.SC(0, 13); ok {
+		t.Fatal("SC after Swap succeeded")
+	}
+
+	// Move copies the source value and breaks destination links.
+	h0.LL(1)
+	h1.Move(0, 1)
+	if ok, cur := h0.Validate(1); ok || cur != 20 {
+		t.Fatalf("Validate after Move = (%v, %v), want (false, 20)", ok, cur)
+	}
+	if v := h0.Read(1); v != 20 {
+		t.Fatalf("Read = %v, want 20", v)
+	}
+
+	// Self-move: charged, value and links untouched.
+	h0.LL(1)
+	before := m.Steps(0)
+	h0.Move(1, 1)
+	if m.Steps(0) != before+1 {
+		t.Fatal("self-move was not charged a step")
+	}
+	if ok, cur := h0.Validate(1); !ok || cur != 20 {
+		t.Fatalf("Validate after self-move = (%v, %v), want (true, 20)", ok, cur)
+	}
+}
+
+// TestDifferentialAgainstNative is the core backend claim, op by op: an
+// identical operation sequence applied to the pset-based llsc.Memory and to
+// this package's pointer-based Memory yields identical responses, identical
+// per-process step counts, and — after every single operation — a byte-
+// identical fingerprint. The fingerprint comparison is what makes the two
+// backends interchangeable inside the exploration harness's memoization.
+func TestDifferentialAgainstNative(t *testing.T) {
+	const npids, nregs = 4, 5
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := llsc.New(npids)
+		b := bwllsc.New(npids)
+		for step := 0; step < 400; step++ {
+			pid := rng.Intn(npids)
+			reg := rng.Intn(nregs)
+			op := shmem.Op{Reg: reg}
+			switch rng.Intn(5) {
+			case 0:
+				op.Kind = shmem.OpLL
+			case 1:
+				op.Kind, op.Arg = shmem.OpSC, rng.Intn(100)
+			case 2:
+				op.Kind = shmem.OpValidate
+			case 3:
+				op.Kind, op.Arg = shmem.OpSwap, rng.Intn(100)
+			case 4:
+				op.Kind, op.Src = shmem.OpMove, rng.Intn(nregs)
+			}
+			ra, rb := a.Apply(pid, op), b.Apply(pid, op)
+			if ra.OK != rb.OK || !shmem.ValuesEqual(ra.Val, rb.Val) {
+				t.Logf("seed %d step %d %v: native %v, bw %v", seed, step, op, ra, rb)
+				return false
+			}
+			if !bytes.Equal(a.AppendFingerprint(nil), b.AppendFingerprint(nil)) {
+				t.Logf("seed %d step %d %v: fingerprints diverge:\n  native %q\n  bw     %q",
+					seed, step, op, a.Fingerprint(), b.Fingerprint())
+				return false
+			}
+		}
+		if a.TotalSteps() != b.TotalSteps() {
+			return false
+		}
+		for pid := 0; pid < npids; pid++ {
+			if a.Steps(pid) != b.Steps(pid) {
+				return false
+			}
+		}
+		for reg := 0; reg < nregs; reg++ {
+			if !shmem.ValuesEqual(a.ReadQuiesced(reg), b.ReadQuiesced(reg)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFingerprintAllocationParity pins the subtle half of byte-identity:
+// the fingerprint only covers *touched* registers, so the two backends must
+// allocate on exactly the same operations. Validate on a fresh register
+// allocates it; ReadQuiesced does not; a self-move charges a step but does
+// not allocate.
+func TestFingerprintAllocationParity(t *testing.T) {
+	a, b := llsc.New(2), bwllsc.New(2)
+	check := func(label string) {
+		t.Helper()
+		if !bytes.Equal(a.AppendFingerprint(nil), b.AppendFingerprint(nil)) {
+			t.Fatalf("%s: fingerprints diverge:\n  native %q\n  bw     %q", label, a.Fingerprint(), b.Fingerprint())
+		}
+	}
+	check("empty")
+	if a.ReadQuiesced(3) != b.ReadQuiesced(3) {
+		t.Fatal("ReadQuiesced diverges")
+	}
+	check("after ReadQuiesced")
+	a.Apply(0, shmem.Op{Kind: shmem.OpValidate, Reg: 7})
+	b.Apply(0, shmem.Op{Kind: shmem.OpValidate, Reg: 7})
+	check("after Validate on fresh register")
+	a.Apply(1, shmem.Op{Kind: shmem.OpMove, Src: 2, Reg: 2})
+	b.Apply(1, shmem.Op{Kind: shmem.OpMove, Src: 2, Reg: 2})
+	check("after self-move on fresh register")
+	if a.Steps(1) != 1 || b.Steps(1) != 1 {
+		t.Fatalf("self-move step accounting: native %d, bw %d, want 1", a.Steps(1), b.Steps(1))
+	}
+}
+
+// TestWithInit mirrors llsc.WithInit: initial register values come from the
+// option and show up in fingerprints identically on both backends.
+func TestWithInit(t *testing.T) {
+	init := func(reg int) shmem.Value { return reg * 10 }
+	a := llsc.New(2, llsc.WithInit(init))
+	b := bwllsc.New(2, bwllsc.WithInit(init))
+	op := shmem.Op{Kind: shmem.OpValidate, Reg: 3}
+	if ra, rb := a.Apply(0, op), b.Apply(0, op); ra.Val != 30 || rb.Val != 30 {
+		t.Fatalf("initial values = %v / %v, want 30", ra.Val, rb.Val)
+	}
+	if !bytes.Equal(a.AppendFingerprint(nil), b.AppendFingerprint(nil)) {
+		t.Fatalf("fingerprints diverge:\n  native %q\n  bw     %q", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// TestBackendInterface pins both memories to the shared Backend surface the
+// exploration harness selects between.
+func TestBackendInterface(t *testing.T) {
+	var _ llsc.Backend = llsc.New(2)
+	var _ llsc.Backend = bwllsc.New(2)
+	for _, tc := range []struct {
+		in   string
+		want llsc.BackendKind
+		ok   bool
+	}{
+		{"", llsc.DefaultBackend(), true},
+		{"native", llsc.BackendNative, true},
+		{"bw", llsc.BackendBW, true},
+		{"blelloch-wei", llsc.BackendBW, true},
+		{"bogus", 0, false},
+	} {
+		got, err := llsc.ParseBackend(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseBackend(%q) = (%v, %v), want (%v, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package tas
+
+import "jayanti98/internal/vmachine"
+
+// This file holds the bytecode twins of the TAS algorithms, in the style of
+// wakeup/compiled.go: each direct-style body in tas.go is re-expressed as a
+// vmachine.Program and compiled once at package init. The re-expression
+// preserves the yield sequence exactly — every Swap/Read/Toss in the body
+// is one SwapE/ReadE/TossE here, in the same order — and the dynamic types
+// of all values (flags are Go ints, toss outcomes int64), so register
+// contents, history digests and golden traces are bit-identical across
+// engines; package lockstep proves it mechanically.
+//
+// Tree index arithmetic the expression language lacks (1-id, v^1, v>>1,
+// the leaf index) goes through pure natives that mirror the body's local
+// computations; natives are not yield points, so they do not perturb the
+// action stream.
+
+// registerTreeNatives installs the index-arithmetic natives. It runs once,
+// from the compiled-chunk initializer below.
+func registerTreeNatives() {
+	// tas.opp(): the two-process opponent id, 1 - self.
+	vmachine.RegisterNative("tas.opp", func(id, _ int, _ []vmachine.Value) vmachine.Value {
+		return vmachine.Int(1 - id)
+	})
+	// tas.leaf(): the tournament leaf position, leafIndex(self, n).
+	vmachine.RegisterNative("tas.leaf", func(id, n int, _ []vmachine.Value) vmachine.Value {
+		return vmachine.Int(leafIndex(id, n))
+	})
+	// tas.sib(v): the sibling position v ^ 1.
+	vmachine.RegisterNative("tas.sib", func(_, _ int, args []vmachine.Value) vmachine.Value {
+		return vmachine.Int(args[0].AsInt() ^ 1)
+	})
+	// tas.half(v): the parent position v >> 1.
+	vmachine.RegisterNative("tas.half", func(_, _ int, args []vmachine.Value) vmachine.Value {
+		return vmachine.Int(args[0].AsInt() >> 1)
+	})
+}
+
+// Expression shorthands (the wakeup/compiled.go idiom).
+func vInt(v int) vmachine.Expr       { return vmachine.ConstE{V: vmachine.Int(v)} }
+func vI64(v int64) vmachine.Expr     { return vmachine.ConstE{V: vmachine.I64(v)} }
+func vNil() vmachine.Expr            { return vmachine.ConstE{V: vmachine.Nil()} }
+func vVar(name string) vmachine.Expr { return vmachine.VarE{Name: name} }
+
+// retreatToss is the `if e.Toss()&1 == 0` condition: toss, mask to the low
+// bit, compare against int64(0) — all in KI64, matching the body's types.
+func retreatToss() vmachine.Expr {
+	return vmachine.EqE{
+		A: vmachine.BandE{A: vmachine.TossE{}, B: vI64(1)},
+		B: vI64(0),
+	}
+}
+
+func tvProgram() *vmachine.Program { return tvProgramRet("tas-tv", 0) }
+
+// tvProgramRet parameterizes the winning return value so the mutation
+// build can derive the broken twin (winRet 1) from the same program.
+func tvProgramRet(name string, winRet int) *vmachine.Program {
+	// See tvBody: flag register is self, the opponent's is 1-self.
+	me := vmachine.SelfE{}
+	return &vmachine.Program{
+		Name: name,
+		Body: []vmachine.Stmt{
+			vmachine.AssignS{Name: "opp", E: vmachine.CallE{Fn: "tas.opp"}},
+			vmachine.DoS{E: vmachine.SwapE{Reg: me, Val: vInt(up)}},
+			vmachine.LoopS{Body: []vmachine.Stmt{
+				vmachine.AssignS{Name: "v", E: vmachine.ReadE{Reg: vVar("opp")}},
+				vmachine.IfS{Cond: vmachine.EqE{A: vVar("v"), B: vInt(won)}, Then: []vmachine.Stmt{
+					vmachine.ReturnS{E: vInt(1)},
+				}},
+				vmachine.IfS{
+					Cond: vmachine.EqE{A: vVar("v"), B: vInt(up)},
+					Then: []vmachine.Stmt{
+						vmachine.IfS{Cond: retreatToss(), Then: []vmachine.Stmt{
+							vmachine.DoS{E: vmachine.SwapE{Reg: me, Val: vInt(down)}},
+							vmachine.AssignS{Name: "v2", E: vmachine.ReadE{Reg: vVar("opp")}},
+							vmachine.IfS{Cond: vmachine.EqE{A: vVar("v2"), B: vInt(won)}, Then: []vmachine.Stmt{
+								vmachine.ReturnS{E: vInt(1)},
+							}},
+							vmachine.DoS{E: vmachine.SwapE{Reg: me, Val: vInt(up)}},
+						}},
+					},
+					Else: []vmachine.Stmt{
+						vmachine.DoS{E: vmachine.SwapE{Reg: me, Val: vInt(won)}},
+						vmachine.ReturnS{E: vInt(winRet)},
+					},
+				},
+			}},
+		},
+	}
+}
+
+func tournamentProgram() *vmachine.Program {
+	// See tournamentBody. The match inner loop is tvProgram's loop with the
+	// flag register v, the opponent register sib(v), and the loser path
+	// marking the doorway.
+	sib := func() vmachine.Expr {
+		return vmachine.CallE{Fn: "tas.sib", Args: []vmachine.Expr{vVar("v")}}
+	}
+	lose := []vmachine.Stmt{
+		vmachine.DoS{E: vmachine.SwapE{Reg: vInt(doorReg), Val: vInt(1)}},
+		vmachine.ReturnS{E: vInt(1)},
+	}
+	return &vmachine.Program{
+		Name: "tas-tournament",
+		Body: []vmachine.Stmt{
+			vmachine.AssignS{Name: "d", E: vmachine.ReadE{Reg: vInt(doorReg)}},
+			vmachine.IfS{
+				Cond: vmachine.EqE{A: vVar("d"), B: vNil()},
+				Else: []vmachine.Stmt{vmachine.ReturnS{E: vInt(1)}},
+			},
+			vmachine.AssignS{Name: "v", E: vmachine.CallE{Fn: "tas.leaf"}},
+			vmachine.LoopS{Body: []vmachine.Stmt{
+				vmachine.IfS{Cond: vmachine.EqE{A: vVar("v"), B: vInt(1)}, Then: []vmachine.Stmt{
+					vmachine.ReturnS{E: vInt(0)},
+				}},
+				vmachine.DoS{E: vmachine.SwapE{Reg: vVar("v"), Val: vInt(up)}},
+				vmachine.LoopS{Body: []vmachine.Stmt{
+					vmachine.AssignS{Name: "w", E: vmachine.ReadE{Reg: sib()}},
+					vmachine.IfS{Cond: vmachine.EqE{A: vVar("w"), B: vInt(won)}, Then: lose},
+					vmachine.IfS{
+						Cond: vmachine.EqE{A: vVar("w"), B: vInt(up)},
+						Then: []vmachine.Stmt{
+							vmachine.IfS{Cond: retreatToss(), Then: []vmachine.Stmt{
+								vmachine.DoS{E: vmachine.SwapE{Reg: vVar("v"), Val: vInt(down)}},
+								vmachine.AssignS{Name: "w2", E: vmachine.ReadE{Reg: sib()}},
+								vmachine.IfS{Cond: vmachine.EqE{A: vVar("w2"), B: vInt(won)}, Then: lose},
+								vmachine.DoS{E: vmachine.SwapE{Reg: vVar("v"), Val: vInt(up)}},
+							}},
+						},
+						Else: []vmachine.Stmt{
+							vmachine.DoS{E: vmachine.SwapE{Reg: vVar("v"), Val: vInt(won)}},
+							vmachine.BreakS{},
+						},
+					},
+				}},
+				vmachine.AssignS{Name: "v", E: vmachine.CallE{Fn: "tas.half", Args: []vmachine.Expr{vVar("v")}}},
+			}},
+		},
+	}
+}
+
+// compileChunks registers the natives and compiles both programs; running
+// it from the var initializer guarantees registration precedes compilation
+// regardless of file order.
+func compileChunks() (tvC, tournamentC *vmachine.Chunk) {
+	registerTreeNatives()
+	return vmachine.MustCompile(tvProgram()), vmachine.MustCompile(tournamentProgram())
+}
+
+var tvChunk, tournamentChunk = compileChunks()

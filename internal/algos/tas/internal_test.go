@@ -1,0 +1,26 @@
+package tas
+
+import "testing"
+
+// TestLeafIndex pins the tournament-tree layout: leaves occupy heap
+// positions [W, W+n) for W the next power of two ≥ n, so siblings v and
+// v^1 contend at parent v/2 and position 1 is the champion slot. n = 1
+// degenerates to leaf 1: the lone process is champion after the door read.
+func TestLeafIndex(t *testing.T) {
+	cases := []struct {
+		id, n, want int
+	}{
+		{0, 1, 1},
+		{0, 2, 2}, {1, 2, 3},
+		{0, 3, 4}, {2, 3, 6},
+		{0, 4, 4}, {3, 4, 7},
+		{0, 5, 8}, {4, 5, 12},
+		{7, 8, 15},
+		{8, 9, 24},
+	}
+	for _, tc := range cases {
+		if got := leafIndex(tc.id, tc.n); got != tc.want {
+			t.Errorf("leafIndex(%d, %d) = %d, want %d", tc.id, tc.n, got, tc.want)
+		}
+	}
+}

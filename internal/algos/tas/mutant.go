@@ -1,0 +1,50 @@
+//go:build mutation
+
+package tas
+
+import (
+	"jayanti98/internal/machine"
+	"jayanti98/internal/shmem"
+	"jayanti98/internal/vmachine"
+)
+
+// MutantAvailable reports whether the broken variant is compiled in.
+const MutantAvailable = true
+
+// BrokenTV is tvBody with the winner lost: the process that decides the
+// match still writes the `won` marker (so the protocol terminates exactly
+// like the correct one) but returns 1 — every process reports "lost", the
+// history has no winner, and no linearization of test&set can produce it
+// (the first operation must return 0). The explore harness must flag every
+// completed run of this variant as non-linearizable; mutant_test.go holds
+// it to that.
+func BrokenTV() machine.Algorithm {
+	return machine.NewCompiled("tas-tv-broken", brokenTVBody, brokenTVChunk)
+}
+
+func brokenTVBody(e *machine.Env) shmem.Value {
+	me := e.ID()
+	opp := 1 - me
+	e.Swap(me, up)
+	for {
+		v := e.Read(opp)
+		if v == won {
+			return 1
+		}
+		if v != up {
+			e.Swap(me, won)
+			return 1 // MUTANT: the winner misreports itself as a loser
+		}
+		if e.Toss()&1 == 0 {
+			e.Swap(me, down)
+			if e.Read(opp) == won {
+				return 1
+			}
+			e.Swap(me, up)
+		}
+	}
+}
+
+// brokenTVChunk is the bytecode twin: tvProgram with the winning return
+// value patched from 0 to 1, so the mutant is detected on both engines.
+var brokenTVChunk = vmachine.MustCompile(tvProgramRet("tas-tv-broken", 1))

@@ -1,0 +1,13 @@
+//go:build !mutation
+
+package tas
+
+import "jayanti98/internal/machine"
+
+// MutantAvailable reports whether the broken variant is compiled in.
+const MutantAvailable = false
+
+// BrokenTV is only available under -tags mutation.
+func BrokenTV() machine.Algorithm {
+	panic("tas: BrokenTV requires -tags mutation")
+}

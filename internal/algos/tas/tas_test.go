@@ -1,0 +1,159 @@
+package tas_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jayanti98/internal/algos"
+	"jayanti98/internal/explore"
+	"jayanti98/internal/lockstep"
+)
+
+// asymTosses is the standard livelock-breaking toss assignment for the
+// randomized protocols: process pid's j-th toss is (pid + j) mod 2, so at
+// every toss index the two contenders of a TV match disagree — one
+// retreats, the other holds — and a winner emerges.
+func asymTosses(pid, j int) int64 { return int64((pid + j) % 2) }
+
+// mix64 is splitmix64's finalizer (the lockstep fuzz idiom) — derives toss
+// outcomes from (seed, pid, j) without shared state.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestLockstepExhaustive proves the bytecode twins equivalent to the
+// direct-style bodies over every schedule up to the exploration budget's
+// depth: every observable (actions, responses, history digests, register
+// files, return values) is compared after every step of every prefix. The
+// protocols are not wait-free, so the bounded variant counts schedules the
+// depth limit cuts off instead of failing on them. The pinned counts also
+// serve as a change detector for the protocols' step structure.
+func TestLockstepExhaustive(t *testing.T) {
+	cases := []struct {
+		alg    string
+		n      int
+		depth  int
+		states int
+		runs   int
+		trunc  int
+		long   bool
+	}{
+		{alg: "tas-tv", n: 2, depth: 14, states: 236, runs: 18, trunc: 38},
+		{alg: "tas-tournament", n: 2, depth: 20, states: 531, runs: 39, trunc: 66},
+		{alg: "tas-tournament", n: 3, depth: 28, states: 35017, runs: 544, trunc: 6311, long: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/n=%d", tc.alg, tc.n), func(t *testing.T) {
+			if tc.long && testing.Short() {
+				t.Skip("long lockstep case skipped in -short mode")
+			}
+			t.Parallel()
+			alg, err := algos.New(tc.alg, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := lockstep.ExhaustiveBounded(alg, tc.n, asymTosses, tc.depth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s n=%d: states=%d runs=%d truncated=%d maxDepth=%d",
+				tc.alg, tc.n, stats.States, stats.Runs, stats.Truncated, stats.MaxDepth)
+			if stats.Runs == 0 {
+				t.Fatalf("no complete runs within depth %d: %+v", tc.depth, stats)
+			}
+			if tc.states != 0 && (stats.States != tc.states || stats.Runs != tc.runs || stats.Truncated != tc.trunc) {
+				t.Errorf("got (states=%d runs=%d truncated=%d), want (states=%d runs=%d truncated=%d)",
+					stats.States, stats.Runs, stats.Truncated, tc.states, tc.runs, tc.trunc)
+			}
+		})
+	}
+}
+
+// TestLockstepRandomSchedules drives both protocols over random schedules
+// and toss streams far past the exhaustive depth — long livelock stretches
+// included — asserting engine agreement on every step.
+func TestLockstepRandomSchedules(t *testing.T) {
+	for _, name := range algos.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, _ := algos.For(name)
+			n := 4
+			if spec.MaxN > 0 && n > spec.MaxN {
+				n = spec.MaxN
+			}
+			alg, err := algos.New(name, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := uint64(0); seed < 50; seed++ {
+				schedule := make([]int, 120)
+				for i := range schedule {
+					schedule[i] = int(mix64(seed<<32^uint64(i)) % uint64(n))
+				}
+				toss := func(pid, j int) int64 {
+					return int64(mix64(seed^uint64(pid)<<32^uint64(j)) & 1)
+				}
+				if _, err := lockstep.Run(alg, n, schedule, toss); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// FuzzTAS is the zoo's differential fuzz target: the fuzzer picks a
+// protocol, a system size, a toss seed, an LL/SC backend and an arbitrary
+// schedule; the run is then checked two independent ways — the explore
+// harness verifies the history linearizes against the sequential test&set
+// spec (on the chosen backend), and the lockstep harness verifies the two
+// execution engines agree on every observable at every step. Any
+// counterexample is a real protocol, compiler, VM or backend bug.
+func FuzzTAS(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint64(0), []byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	f.Add(uint8(1), uint8(1), uint64(7), []byte{2, 0, 1, 2, 2, 0, 1, 1, 0, 2, 1, 1, 2, 0})
+	f.Add(uint8(1), uint8(3), uint64(42), []byte{0, 0, 0, 3, 2, 1, 4, 4, 1, 0, 2, 3})
+	f.Add(uint8(0), uint8(0), uint64(9), []byte{1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, algIdx, nRaw uint8, tossSeed uint64, sched []byte) {
+		name := "tas-tv"
+		n := 2
+		if algIdx&1 == 1 {
+			name = "tas-tournament"
+			n = 2 + int(nRaw)%4 // n ∈ {2..5}
+		}
+		if len(sched) > 256 {
+			sched = sched[:256]
+		}
+		schedule := make([]int, len(sched))
+		for i, b := range sched {
+			schedule[i] = int(b) % n
+		}
+		toss := func(pid, j int) int64 {
+			return int64(mix64(tossSeed^uint64(pid)<<32^uint64(j)) & 1)
+		}
+		backend := "native"
+		if tossSeed>>63 == 1 {
+			backend = "bw"
+		}
+		rec, err := explore.RunSchedule(explore.Config{
+			Alg: name, Object: "tas", N: n, OpsPerProc: 1,
+			LLSC: backend, Tosses: toss,
+		}, schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Failure != nil {
+			t.Fatalf("%s n=%d [%s]: %v", name, n, backend, rec.Failure)
+		}
+		alg, err := algos.New(name, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lockstep.Run(alg, n, schedule, toss); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -63,6 +63,9 @@ func TestSpecValidate(t *testing.T) {
 		{BatchSize: 5000},
 		{MaxCorpus: 2000},
 		{MaxRounds: -1},
+		{Alg: "tas-tournament", Object: "fetch-increment"}, // zoo alg, wrong workload
+		{Alg: "tas-tournament", OpsPerProc: 2},             // zoo algs are one-shot
+		{Alg: "tas-tv", N: 3},                              // TV is two-process
 	}
 	for i, s := range bad {
 		s := s
@@ -75,6 +78,15 @@ func TestSpecValidate(t *testing.T) {
 	good.Normalize()
 	if err := good.Validate(); err != nil {
 		t.Fatalf("good spec rejected: %v", err)
+	}
+	// A zoo algorithm is campaignable: Object defaults to its workload.
+	zoo := Spec{Alg: "tas-tournament", N: 3}
+	zoo.Normalize()
+	if zoo.Object != "tas" {
+		t.Fatalf("zoo Object defaulted to %q, want tas", zoo.Object)
+	}
+	if err := zoo.Validate(); err != nil {
+		t.Fatalf("zoo spec rejected: %v", err)
 	}
 }
 
@@ -271,5 +283,36 @@ func TestRecordFindingDedupesAndCaps(t *testing.T) {
 	}
 	if st.RecordFinding(Finding{Kind: "other", Schedule: []int{9, 9, 9}}) {
 		t.Fatal("finding accepted beyond the cap")
+	}
+}
+
+// TestZooCampaignRound: a zoo algorithm is a first-class campaign target —
+// one round of coverage-guided search over the tournament TAS runs clean,
+// with truncated (livelocked) runs reported as incomplete rather than as
+// failures.
+func TestZooCampaignRound(t *testing.T) {
+	spec := Spec{Alg: "tas-tournament", N: 2, BatchSize: 8, Seed: 3}
+	spec.Normalize()
+	rr, err := ExecuteRound(context.Background(), &RoundSpec{Campaign: spec}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Results) != spec.BatchSize {
+		t.Fatalf("round produced %d results, want %d", len(rr.Results), spec.BatchSize)
+	}
+	completed := 0
+	for i, res := range rr.Results {
+		if res.FailKind != "" {
+			t.Fatalf("slot %d failed: %s: %s", i, res.FailKind, res.FailDetail)
+		}
+		if len(res.Trace) == 0 {
+			t.Fatalf("slot %d has an empty coverage trace", i)
+		}
+		if res.Completed {
+			completed++
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no slot completed — random walks should finish the tournament")
 	}
 }

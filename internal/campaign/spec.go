@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"slices"
 
+	"jayanti98/internal/algos"
 	"jayanti98/internal/explore"
 	"jayanti98/internal/universal"
 )
@@ -39,12 +40,13 @@ import (
 // coverage evolution are a pure function of it. Execution knobs (worker
 // counts, checkpoint cadence, findings directory) live in ManagerOptions.
 type Spec struct {
-	// Alg is the construction under test: one of universal.Names(), or
-	// explore.BrokenGroupUpdate when built with -tags mutation. Defaults
-	// to "group-update".
+	// Alg is the system under test: one of universal.Names(), a zoo
+	// algorithm (algos.Names()), or explore.BrokenGroupUpdate when built
+	// with -tags mutation. Defaults to "group-update".
 	Alg string `json:"alg,omitempty"`
 	// Object is the workload (explore.Workloads()). Defaults to
-	// "fetch-increment".
+	// "fetch-increment" for constructions and to the algorithm's own
+	// workload for zoo entries.
 	Object string `json:"object,omitempty"`
 	// N is the number of processes (default 2).
 	N int `json:"n,omitempty"`
@@ -80,7 +82,11 @@ func (s *Spec) Normalize() {
 		s.Alg = "group-update"
 	}
 	if s.Object == "" {
-		s.Object = "fetch-increment"
+		if zs, ok := algos.For(s.Alg); ok {
+			s.Object = zs.Object
+		} else {
+			s.Object = "fetch-increment"
+		}
 	}
 	if s.N == 0 {
 		s.N = 2
@@ -104,13 +110,18 @@ func (s *Spec) Normalize() {
 
 // Validate reports the first problem with the (normalized) spec.
 func (s *Spec) Validate() error {
+	zs, isZoo := algos.For(s.Alg)
 	switch {
 	case slices.Contains(universal.Names(), s.Alg):
+	case isZoo:
+		// Zoo algorithms (including the mutation-build-only broken TV
+		// variant, which algos registers conditionally) are first-class
+		// campaign targets via the raw explore mode.
 	case s.Alg == explore.BrokenGroupUpdate && universal.MutantAvailable:
 		// The deliberately broken variant is a first-class campaign target
 		// (the smoke test hunts it), but only in -tags mutation builds.
 	default:
-		return fmt.Errorf("campaign: unknown construction %q", s.Alg)
+		return fmt.Errorf("campaign: unknown construction or algorithm %q", s.Alg)
 	}
 	if !slices.Contains(explore.Workloads(), s.Object) {
 		return fmt.Errorf("campaign: unknown workload %q", s.Object)
@@ -120,6 +131,18 @@ func (s *Spec) Validate() error {
 	}
 	if s.OpsPerProc < 1 || s.OpsPerProc > 8 {
 		return fmt.Errorf("campaign: opsPerProc %d out of range [1, 8]", s.OpsPerProc)
+	}
+	if isZoo {
+		// Mirror explore.newRawRunner's constraints at submit time.
+		if s.Object != zs.Object {
+			return fmt.Errorf("campaign: algorithm %s implements workload %q, got %q", s.Alg, zs.Object, s.Object)
+		}
+		if s.OpsPerProc != 1 {
+			return fmt.Errorf("campaign: algorithm %s is one-shot (opsPerProc must be 1, got %d)", s.Alg, s.OpsPerProc)
+		}
+		if zs.MaxN > 0 && s.N > zs.MaxN {
+			return fmt.Errorf("campaign: algorithm %s supports at most n = %d, got %d", s.Alg, zs.MaxN, s.N)
+		}
 	}
 	if s.Budget < 0 {
 		return fmt.Errorf("campaign: budget %d negative", s.Budget)

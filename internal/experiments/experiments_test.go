@@ -11,7 +11,7 @@ import (
 
 func TestForSelection(t *testing.T) {
 	all, err := For(nil)
-	if err != nil || len(all) != 10 {
+	if err != nil || len(all) != 13 {
 		t.Fatalf("For(nil) = %d experiments, %v", len(all), err)
 	}
 	// Subsets come back in report order regardless of request order.
@@ -34,7 +34,7 @@ func TestForSelection(t *testing.T) {
 // at least one table through the Doc.
 func TestRunQuickCapturesTables(t *testing.T) {
 	opts := Options{Quick: true, Parallel: 4}
-	for _, e := range []string{"E1", "E6", "E9", "E10"} {
+	for _, e := range []string{"E1", "E6", "E9", "E10", "E13", "E14", "E15"} {
 		sel, err := For([]string{e})
 		if err != nil {
 			t.Fatal(err)
@@ -75,7 +75,7 @@ func TestWriteReportSubsetAndCancellation(t *testing.T) {
 	}
 }
 
-// TestWriteReportAllQuick runs the entire E1–E12 registry at quick sizes —
+// TestWriteReportAllQuick runs the entire E1–E15 registry at quick sizes —
 // the same pipeline cmd/lbreport -quick drives — and checks every section
 // renders without a failing lemma check.
 func TestWriteReportAllQuick(t *testing.T) {

@@ -8,22 +8,28 @@ import (
 
 // TestExhaustiveGoldenEngines re-runs the quick exhaustive-golden cases
 // under each forced execution engine and asserts the Report counters are
-// identical to the pinned values. The explorer's algorithm closures carry
-// no compiled chunk, so EngineVM exercises the documented fallback path to
-// the goroutine driver — this test pins that flipping the process-level
-// default engine (as cmd -engine flags and LB_ENGINE do) cannot perturb
-// state enumeration, memoization, or completion counting.
+// identical to the pinned values. The explorer's construction closures
+// carry no compiled chunk, so EngineVM exercises the documented fallback
+// path to the goroutine driver; the zoo's TAS algorithms are NewCompiled
+// pairs, so for them EngineVM genuinely runs the bytecode twin — the same
+// counts on both engines prove the twins' yield sequences, register values
+// and history digests coincide action for action. This pins that flipping
+// the process-level default engine (as cmd -engine flags and LB_ENGINE do)
+// cannot perturb state enumeration, memoization, or completion counting.
 //
 // Deliberately NOT parallel: SetDefaultEngine is process-global state.
 func TestExhaustiveGoldenEngines(t *testing.T) {
 	cases := []struct {
-		alg                    string
-		n                      int
-		states, runs, complete int
+		alg                               string
+		object                            string
+		n                                 int
+		states, runs, complete, truncated int
 	}{
-		{alg: "central", n: 2, states: 20, runs: 27, complete: 6},
-		{alg: "group-update", n: 2, states: 384, runs: 607, complete: 48},
-		{alg: "herlihy", n: 2, states: 312, runs: 499, complete: 48},
+		{alg: "central", object: "fetch-increment", n: 2, states: 20, runs: 27, complete: 6},
+		{alg: "group-update", object: "fetch-increment", n: 2, states: 384, runs: 607, complete: 48},
+		{alg: "herlihy", object: "fetch-increment", n: 2, states: 312, runs: 499, complete: 48},
+		{alg: "tas-tv", object: "tas", n: 2, states: 532, runs: 957, complete: 50, truncated: 218},
+		{alg: "tas-tournament", object: "tas", n: 2, states: 1594, runs: 2741, complete: 140, truncated: 536},
 	}
 	engines := []machine.Engine{machine.EngineGoroutine, machine.EngineVM}
 	for _, eng := range engines {
@@ -32,16 +38,16 @@ func TestExhaustiveGoldenEngines(t *testing.T) {
 			prev := machine.SetDefaultEngine(eng)
 			defer machine.SetDefaultEngine(prev)
 			for _, tc := range cases {
-				rep, err := Exhaustive(Config{Alg: tc.alg, Object: "fetch-increment", N: tc.n, OpsPerProc: 1}, 1)
+				rep, err := Exhaustive(Config{Alg: tc.alg, Object: tc.object, N: tc.n, OpsPerProc: 1}, 1)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if rep.Failure != nil {
 					t.Fatalf("%s n=%d [%s]: unexpected failure: %v", tc.alg, tc.n, eng, rep.Failure)
 				}
-				if rep.States != tc.states || rep.Runs != tc.runs || rep.Complete != tc.complete {
-					t.Errorf("%s n=%d [%s]: got (states=%d runs=%d complete=%d), want (states=%d runs=%d complete=%d)",
-						tc.alg, tc.n, eng, rep.States, rep.Runs, rep.Complete, tc.states, tc.runs, tc.complete)
+				if rep.States != tc.states || rep.Runs != tc.runs || rep.Complete != tc.complete || rep.Truncated != tc.truncated {
+					t.Errorf("%s n=%d [%s]: got (states=%d runs=%d complete=%d truncated=%d), want (states=%d runs=%d complete=%d truncated=%d)",
+						tc.alg, tc.n, eng, rep.States, rep.Runs, rep.Complete, rep.Truncated, tc.states, tc.runs, tc.complete, tc.truncated)
 				}
 			}
 		})

@@ -21,6 +21,12 @@ type Report struct {
 	Runs int
 	// Complete counts runs in which every process terminated.
 	Complete int
+	// Truncated counts leaf runs cut off by the step budget with processes
+	// still live. Always 0 for constructions (their budget exhaustion is a
+	// Failure); for zoo algorithms (package algos) it measures how much of
+	// the schedule space the budget leaves unexplored — randomized TAS
+	// livelocks under symmetric schedules, so some truncation is inherent.
+	Truncated int
 	// Failure is the first failure in branch order, nil if the whole
 	// schedule space is clean.
 	Failure *Failure
@@ -31,12 +37,13 @@ type Report struct {
 // exhaustiveWorker explores the subtree under one first step with its own
 // visited set.
 type exhaustiveWorker struct {
-	ctx      context.Context
-	cfg      Config
-	visited  map[string]bool
-	keyBuf   []byte // reused memo-key scratch (appendMemoKey)
-	runs     int
-	complete int
+	ctx       context.Context
+	cfg       Config
+	visited   map[string]bool
+	keyBuf    []byte // reused memo-key scratch (appendMemoKey)
+	runs      int
+	complete  int
+	truncated int
 }
 
 // Exhaustive enumerates every schedule of cfg by depth-first search over
@@ -87,9 +94,9 @@ func ExhaustiveCtx(ctx context.Context, cfg Config, workers int) (*Report, error
 	root.close()
 
 	type branchResult struct {
-		states, runs, complete int
-		failure                *Failure
-		record                 *RunRecord
+		states, runs, complete, truncated int
+		failure                           *Failure
+		record                            *RunRecord
 	}
 	results, err := sweep.MapCtx(ctx, workers, len(branches), func(i int) (branchResult, error) {
 		w := &exhaustiveWorker{ctx: ctx, cfg: cfg, visited: make(map[string]bool)}
@@ -97,7 +104,7 @@ func ExhaustiveCtx(ctx context.Context, cfg Config, workers int) (*Report, error
 		if err != nil {
 			return branchResult{}, err
 		}
-		return branchResult{states: len(w.visited), runs: w.runs, complete: w.complete, failure: f, record: rec}, nil
+		return branchResult{states: len(w.visited), runs: w.runs, complete: w.complete, truncated: w.truncated, failure: f, record: rec}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -106,6 +113,7 @@ func ExhaustiveCtx(ctx context.Context, cfg Config, workers int) (*Report, error
 		rep.States += br.states
 		rep.Runs += br.runs
 		rep.Complete += br.complete
+		rep.Truncated += br.truncated
 		if rep.Failure == nil && br.failure != nil {
 			rep.Failure = br.failure
 			rep.Record = br.record
@@ -146,6 +154,12 @@ func (e *exhaustiveWorker) dfs(prefix []int) (*Failure, *RunRecord, error) {
 		if r.fail != nil {
 			return r.fail, r.record(), nil
 		}
+		return nil, nil, nil
+	}
+	if r.truncated() {
+		// A zoo algorithm out of budget: nothing is enabled below this
+		// prefix, so it is a leaf — count it, don't memoize it.
+		e.truncated++
 		return nil, nil, nil
 	}
 	e.keyBuf = r.appendMemoKey(e.keyBuf[:0])

@@ -41,6 +41,8 @@ import (
 	"sort"
 	"strings"
 
+	"jayanti98/internal/algos"
+	"jayanti98/internal/algos/bwllsc"
 	"jayanti98/internal/linz"
 	"jayanti98/internal/llsc"
 	"jayanti98/internal/machine"
@@ -56,21 +58,36 @@ const BrokenGroupUpdate = "group-update-broken"
 
 // Config describes one system under exploration.
 type Config struct {
-	// Alg is the construction name: one of universal.Names(), or
-	// BrokenGroupUpdate when built with -tags mutation.
+	// Alg is the system under test: a construction name (universal.Names(),
+	// or BrokenGroupUpdate with -tags mutation), or a direct algorithm from
+	// the zoo registry (algos.Names()). A construction runs the Object
+	// workload through universal.Construction.Invoke; a zoo algorithm IS
+	// the object — each process performs its one operation by running the
+	// protocol, and Object must name the workload the algorithm implements
+	// (algos.Spec.Object).
 	Alg string
 	// Object is the workload name (see Workloads).
 	Object string
 	// N is the number of processes.
 	N int
-	// OpsPerProc is how many operations each process performs.
+	// OpsPerProc is how many operations each process performs. Zoo
+	// algorithms are one-shot: OpsPerProc must be 1.
 	OpsPerProc int
-	// Budget bounds total shared-memory steps; 0 picks a bound generous
-	// enough that exhausting it indicates a liveness bug (see AutoBudget).
+	// Budget bounds total shared-memory steps; 0 picks a default (see
+	// AutoBudget). For a construction, exhausting it indicates a liveness
+	// bug and fails the run; for a zoo algorithm — randomized, so not
+	// wait-free against a symmetric adversary — it truncates the run
+	// instead (RunRecord.Truncated).
 	Budget int
 	// Tosses supplies coin-toss outcomes (nil: machine.ZeroTosses).
 	// Exhaustive exploration requires a deterministic assignment.
 	Tosses machine.TossAssignment
+	// LLSC selects the shared-memory backend: "" (process default, see
+	// llsc.DefaultBackend), "native", or "bw" (the Blelloch–Wei
+	// LL/SC-from-CAS construction, package algos/bwllsc). The two backends
+	// are fingerprint-identical, so exhaustive counts do not depend on the
+	// choice — which is exactly what the differential harness pins.
+	LLSC string
 }
 
 // workload pairs a sequential type with a pure choice of the i-th
@@ -82,6 +99,14 @@ type workload struct {
 }
 
 var workloads = map[string]workload{
+	// Every process performs one test&set; exactly one winner (response 0)
+	// may exist, and no completed loser may precede the winner in real
+	// time. This is both a construction workload and the object the zoo's
+	// TAS algorithms implement directly.
+	"tas": {
+		typ: func() objtype.Type { return objtype.NewTAS() },
+		op:  func(int, int) objtype.Op { return objtype.Op{Name: objtype.OpTestAndSet} },
+	},
 	// Every process fetch&increments; duplicate or skipped tickets are the
 	// classic symptom of a broken linearization order.
 	"fetch-increment": {
@@ -155,7 +180,22 @@ func (cfg Config) validate() error {
 	if cfg.OpsPerProc < 1 {
 		return fmt.Errorf("explore: ops per process must be >= 1, got %d", cfg.OpsPerProc)
 	}
+	if _, err := llsc.ParseBackend(cfg.LLSC); err != nil {
+		return err
+	}
 	return nil
+}
+
+// newBackend builds the configured shared-memory backend.
+func (cfg Config) newBackend() (llsc.Backend, error) {
+	kind, err := llsc.ParseBackend(cfg.LLSC)
+	if err != nil {
+		return nil, err
+	}
+	if kind == llsc.BackendBW {
+		return bwllsc.New(cfg.N), nil
+	}
+	return llsc.New(cfg.N), nil
 }
 
 // FailureKind classifies what went wrong in a run.
@@ -243,6 +283,11 @@ type RunRecord struct {
 	Failure *Failure
 	// Completed reports whether every process terminated.
 	Completed bool
+	// Truncated reports that a zoo-algorithm run hit its step budget with
+	// processes still live — expected for randomized algorithms under
+	// adversarial schedules, so not a Failure. Always false for
+	// constructions (their budget exhaustion is FailBudgetExhausted).
+	Truncated bool
 	// Steps is the number of shared-memory steps executed.
 	Steps int
 }
@@ -252,11 +297,20 @@ type RunRecord struct {
 type runner struct {
 	cfg    Config
 	budget int
-	cons   universal.Construction
-	mem    *llsc.Memory
-	ms     []*machine.Machine
-	log    *eventLog
-	ta     machine.TossAssignment
+	// Exactly one of cons/raw describes the system: cons invokes workload
+	// ops through a universal construction; raw runs a zoo algorithm whose
+	// whole per-process run is one operation (events are synthesized by the
+	// engine — invoke at a process's first delivered step, return at its
+	// termination).
+	cons    universal.Construction
+	raw     bool
+	spec    algos.Spec
+	typ     objtype.Type // the sequential spec the checkers run against
+	invoked []bool       // raw mode: pids whose invoke event was emitted
+	mem     llsc.Backend
+	ms      []*machine.Machine
+	log     *eventLog
+	ta      machine.TossAssignment
 
 	online   *linz.Online
 	consumed int // prefix of log already fed to the checker
@@ -277,6 +331,9 @@ func newRunner(cfg Config) (*runner, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if spec, ok := algos.For(cfg.Alg); ok {
+		return newRawRunner(cfg, spec)
+	}
 	w, err := workloadFor(cfg.Object)
 	if err != nil {
 		return nil, err
@@ -290,11 +347,16 @@ func newRunner(cfg Config) (*runner, error) {
 	if budget == 0 {
 		budget = AutoBudget(cons, cfg.N, cfg.OpsPerProc)
 	}
+	mem, err := cfg.newBackend()
+	if err != nil {
+		return nil, err
+	}
 	r := &runner{
 		cfg:     cfg,
 		budget:  budget,
 		cons:    cons,
-		mem:     llsc.New(cfg.N),
+		typ:     typ,
+		mem:     mem,
 		log:     &eventLog{},
 		ta:      cfg.tosses(),
 		online:  linz.NewOnline(typ, cfg.N),
@@ -315,6 +377,57 @@ func newRunner(cfg Config) (*runner, error) {
 		}
 		return nil
 	})
+	r.ms = machine.StartAll(alg, cfg.N)
+	for pid := 0; pid < cfg.N && r.fail == nil; pid++ {
+		r.advance(pid)
+	}
+	return r, nil
+}
+
+// newRawRunner builds a runner for a zoo algorithm (see Config.Alg). The
+// algorithm's machines run the protocol directly — no construction wrapper,
+// no event-appending body closure, so compiled algorithms run on either
+// engine. History events are synthesized by the engine instead: the invoke
+// of a process's one operation at its first delivered shared step, the
+// return at its termination. A process scheduled for no steps has therefore
+// not invoked, which is what lets the checker hold zoo algorithms to the
+// real-time order (a completed loser before the winner's first step is a
+// genuine test&set violation, and the doorway-less tournament mutant would
+// produce exactly that).
+func newRawRunner(cfg Config, spec algos.Spec) (*runner, error) {
+	if cfg.Object != spec.Object {
+		return nil, fmt.Errorf("explore: algorithm %s implements workload %q, got %q", spec.Name, spec.Object, cfg.Object)
+	}
+	if cfg.OpsPerProc != 1 {
+		return nil, fmt.Errorf("explore: algorithm %s is one-shot: ops per process must be 1, got %d", spec.Name, cfg.OpsPerProc)
+	}
+	alg, err := algos.New(cfg.Alg, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	typ := spec.Type(cfg.N)
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = spec.Budget(cfg.N)
+	}
+	mem, err := cfg.newBackend()
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:     cfg,
+		budget:  budget,
+		raw:     true,
+		spec:    spec,
+		typ:     typ,
+		invoked: make([]bool, cfg.N),
+		mem:     mem,
+		log:     &eventLog{},
+		ta:      cfg.tosses(),
+		online:  linz.NewOnline(typ, cfg.N),
+		pending: make(map[int]pendingOp),
+		tossLog: make([][]int64, cfg.N),
+	}
 	r.ms = machine.StartAll(alg, cfg.N)
 	for pid := 0; pid < cfg.N && r.fail == nil; pid++ {
 		r.advance(pid)
@@ -406,11 +519,22 @@ func (r *runner) isEnabled(pid int) bool {
 	if r.fail != nil {
 		return false
 	}
+	if r.truncated() {
+		// A zoo algorithm out of budget is out of schedule space: nothing
+		// is enabled, and the run records as truncated rather than failed.
+		return false
+	}
 	m := r.ms[pid]
 	if m.Terminated() || m.Crashed() != nil {
 		return false
 	}
 	return m.Peek().Kind == machine.ActOp
+}
+
+// truncated reports whether a zoo-algorithm run has exhausted its budget
+// with processes still live.
+func (r *runner) truncated() bool {
+	return r.raw && r.steps >= r.budget && !r.done()
 }
 
 // done reports whether every process terminated.
@@ -431,19 +555,30 @@ func (r *runner) step(pid int) bool {
 		return false
 	}
 	if r.steps >= r.budget {
-		// The attempted step is recorded in the schedule even though it was
-		// never delivered: replaying the schedule must re-attempt it so the
-		// failure reproduces at the same point.
+		// Unreachable in raw mode: isEnabled already gates on the budget
+		// there, so only constructions — where exhaustion is a liveness
+		// bug — reach this branch. The attempted step is recorded in the
+		// schedule even though it was never delivered: replaying the
+		// schedule must re-attempt it so the failure reproduces at the
+		// same point.
 		r.executed = append(r.executed, pid)
 		r.setFailure(FailBudgetExhausted, fmt.Sprintf("budget %d exhausted with %d processes live", r.budget, len(r.enabled())))
 		return false
 	}
 	m := r.ms[pid]
+	if r.raw && !r.invoked[pid] {
+		r.invoked[pid] = true
+		r.log.events = append(r.log.events, event{proc: pid, kind: evInvoke, op: r.spec.Op})
+	}
 	a := m.Peek()
 	m.DeliverOpResponse(r.mem.Apply(pid, a.Op))
 	r.steps++
 	r.executed = append(r.executed, pid)
 	r.advance(pid)
+	if r.raw && m.Terminated() {
+		r.log.events = append(r.log.events, event{proc: pid, kind: evReturn, op: r.spec.Op, resp: m.ReturnValue()})
+		r.drainEvents()
+	}
 	return true
 }
 
@@ -500,7 +635,7 @@ func (r *runner) finalCheck() error {
 	if r.fail != nil {
 		return nil
 	}
-	res, err := linz.Check(r.cons.Type(), r.history())
+	res, err := linz.Check(r.typ, r.history())
 	if err != nil {
 		return fmt.Errorf("explore: final history check: %w", err)
 	}
@@ -517,6 +652,7 @@ func (r *runner) record() *RunRecord {
 		Tosses:    make([][]int64, r.cfg.N),
 		Failure:   r.fail,
 		Completed: r.done(),
+		Truncated: r.truncated(),
 		Steps:     r.steps,
 	}
 	for pid := range r.tossLog {

@@ -121,6 +121,7 @@ func FuzzCtx(ctx context.Context, cfg Config, opt FuzzOptions) (*FuzzReport, err
 			N:           cfg.N,
 			OpsPerProc:  cfg.OpsPerProc,
 			Budget:      cfg.Budget,
+			LLSC:        cfg.LLSC,
 			Seed:        seed,
 			Kind:        final.Failure.Kind,
 			Detail:      final.Failure.Detail,

@@ -6,30 +6,40 @@ import (
 )
 
 // TestExhaustiveGolden pins the exhaustive-search Report counters
-// (States/Runs/Complete) for every construction at n ∈ {2, 3}. The counts
-// were captured before the binary memo-key change (PR 6) and act as the
-// correctness oracle for the memoization key: any representation change
+// (States/Runs/Complete/Truncated) for every construction at n ∈ {2, 3}
+// and for the algorithm zoo's randomized TAS protocols. The construction
+// counts were captured before the binary memo-key change (PR 6) and act as
+// the correctness oracle for the memoization key: any representation change
 // that alters the key's discriminating power — collapsing distinct states
 // or splitting equal ones — shifts these counts and fails here, so memo
-// semantics cannot silently drift.
+// semantics cannot silently drift. The TAS counts were captured when the
+// zoo landed and additionally pin the raw-mode budget-truncation frontier:
+// the randomized protocols livelock under symmetric schedules, so the
+// schedule space is only finite because the budget cuts it off, and
+// Truncated counts exactly the cut leaves.
 //
-// The herlihy n = 3 space (~124k runs, seconds of wall clock) is skipped
-// in -short mode; group-update at n = 3 (~985k runs, minutes) stays out of
-// the unit-test budget entirely — its pre-change counts were
+// The herlihy n = 3 space (~124k runs, seconds of wall clock) and the
+// tournament-TAS n = 3 space (~485k runs) are skipped in -short mode;
+// group-update at n = 3 (~985k runs, minutes) stays out of the unit-test
+// budget entirely — its pre-change counts were
 // states=473542 runs=984578 complete=37314, recorded here for anyone
 // re-validating by hand.
 func TestExhaustiveGolden(t *testing.T) {
 	cases := []struct {
-		alg                    string
-		n                      int
-		states, runs, complete int
-		long                   bool
+		alg                               string
+		object                            string
+		n                                 int
+		states, runs, complete, truncated int
+		long                              bool
 	}{
-		{alg: "central", n: 2, states: 20, runs: 27, complete: 6},
-		{alg: "central", n: 3, states: 507, runs: 700, complete: 126},
-		{alg: "group-update", n: 2, states: 384, runs: 607, complete: 48},
-		{alg: "herlihy", n: 2, states: 312, runs: 499, complete: 48},
-		{alg: "herlihy", n: 3, states: 59280, runs: 123631, complete: 6417, long: true},
+		{alg: "central", object: "fetch-increment", n: 2, states: 20, runs: 27, complete: 6},
+		{alg: "central", object: "fetch-increment", n: 3, states: 507, runs: 700, complete: 126},
+		{alg: "group-update", object: "fetch-increment", n: 2, states: 384, runs: 607, complete: 48},
+		{alg: "herlihy", object: "fetch-increment", n: 2, states: 312, runs: 499, complete: 48},
+		{alg: "herlihy", object: "fetch-increment", n: 3, states: 59280, runs: 123631, complete: 6417, long: true},
+		{alg: "tas-tv", object: "tas", n: 2, states: 532, runs: 957, complete: 50, truncated: 218},
+		{alg: "tas-tournament", object: "tas", n: 2, states: 1594, runs: 2741, complete: 140, truncated: 536},
+		{alg: "tas-tournament", object: "tas", n: 3, states: 186358, runs: 485372, complete: 3752, truncated: 108590, long: true},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -42,17 +52,17 @@ func TestExhaustiveGolden(t *testing.T) {
 			if tc.long {
 				workers = 4
 			}
-			rep, err := Exhaustive(Config{Alg: tc.alg, Object: "fetch-increment", N: tc.n, OpsPerProc: 1}, workers)
+			rep, err := Exhaustive(Config{Alg: tc.alg, Object: tc.object, N: tc.n, OpsPerProc: 1}, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if rep.Failure != nil {
 				t.Fatalf("unexpected failure: %v", rep.Failure)
 			}
-			t.Logf("%s n=%d: states=%d runs=%d complete=%d", tc.alg, tc.n, rep.States, rep.Runs, rep.Complete)
-			if rep.States != tc.states || rep.Runs != tc.runs || rep.Complete != tc.complete {
-				t.Errorf("got (states=%d runs=%d complete=%d), want (states=%d runs=%d complete=%d)",
-					rep.States, rep.Runs, rep.Complete, tc.states, tc.runs, tc.complete)
+			t.Logf("%s n=%d: states=%d runs=%d complete=%d truncated=%d", tc.alg, tc.n, rep.States, rep.Runs, rep.Complete, rep.Truncated)
+			if rep.States != tc.states || rep.Runs != tc.runs || rep.Complete != tc.complete || rep.Truncated != tc.truncated {
+				t.Errorf("got (states=%d runs=%d complete=%d truncated=%d), want (states=%d runs=%d complete=%d truncated=%d)",
+					rep.States, rep.Runs, rep.Complete, rep.Truncated, tc.states, tc.runs, tc.complete, tc.truncated)
 			}
 		})
 	}

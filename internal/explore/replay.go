@@ -20,6 +20,10 @@ type Replay struct {
 	// Budget is the configured step budget (0: automatic). It matters for
 	// reproducing budget-exhaustion failures.
 	Budget int `json:"budget,omitempty"`
+	// LLSC is the LL/SC backend the failure was found on ("" = native; see
+	// llsc.ParseBackend). The backends are proven equivalent, but a replay
+	// must reproduce on the backend that produced it.
+	LLSC string `json:"llsc,omitempty"`
 	// Seed is the fuzz sample seed the failure was found with (provenance
 	// only; the schedule and tosses below are what reproduce it).
 	Seed int64       `json:"seed,omitempty"`
@@ -44,6 +48,7 @@ func (rp *Replay) Config() Config {
 		N:          rp.N,
 		OpsPerProc: rp.OpsPerProc,
 		Budget:     rp.Budget,
+		LLSC:       rp.LLSC,
 		Tosses:     replayTosses(rp.Tosses),
 	}
 }

@@ -22,9 +22,11 @@ import (
 	"slices"
 	"sort"
 
+	"jayanti98/internal/algos"
 	"jayanti98/internal/campaign"
 	"jayanti98/internal/experiments"
 	"jayanti98/internal/explore"
+	"jayanti98/internal/llsc"
 	"jayanti98/internal/lowerbound"
 	"jayanti98/internal/universal"
 )
@@ -104,14 +106,15 @@ func (s *SweepSpec) ConstructionNames() []string {
 	return universal.Names()
 }
 
-// ExploreSpec searches the schedule space of one construction
-// (cmd/explore as a job).
+// ExploreSpec searches the schedule space of one construction or zoo
+// algorithm (cmd/explore as a job).
 type ExploreSpec struct {
-	// Alg is the construction under test (universal.Names()).
-	// Defaults to "group-update".
+	// Alg is the system under test: a construction (universal.Names()) or
+	// a zoo algorithm (algos.Names()). Defaults to "group-update".
 	Alg string `json:"alg,omitempty"`
 	// Object is the workload (explore.Workloads()). Defaults to
-	// "fetch-increment".
+	// "fetch-increment" for constructions and to the algorithm's own
+	// workload for zoo entries.
 	Object string `json:"object,omitempty"`
 	// N is the number of processes (default 2).
 	N int `json:"n,omitempty"`
@@ -127,6 +130,12 @@ type ExploreSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Budget bounds total steps (0: automatic).
 	Budget int `json:"budget,omitempty"`
+	// LLSC selects the shared-memory backend: "" or "native" (the
+	// pset-based internal/llsc memory) or "bw" (the Blelloch–Wei backend,
+	// internal/algos/bwllsc). Unlike explore.Config, "" here always means
+	// native — a job's result must not depend on the server's LB_LLSC
+	// environment.
+	LLSC string `json:"llsc,omitempty"`
 }
 
 // Normalize fills defaults in place so that semantically identical specs
@@ -189,7 +198,23 @@ func (s *Spec) Normalize() {
 			e.Alg = "group-update"
 		}
 		if e.Object == "" {
-			e.Object = "fetch-increment"
+			if zs, ok := algos.For(e.Alg); ok {
+				e.Object = zs.Object
+			} else {
+				e.Object = "fetch-increment"
+			}
+		}
+		if e.LLSC != "" {
+			// Canonicalize backend aliases ("blelloch-wei" → "bw"); the
+			// native backend's canonical spelling is the empty field, so
+			// pre-backend job IDs stay valid cache keys.
+			if kind, err := llsc.ParseBackend(e.LLSC); err == nil {
+				if kind == llsc.BackendNative {
+					e.LLSC = ""
+				} else {
+					e.LLSC = "bw"
+				}
+			}
 		}
 		if e.N == 0 {
 			e.N = 2
@@ -257,8 +282,9 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("jobs: kind %q needs exactly the %q sub-spec", s.Kind, s.Kind)
 		}
 		e := s.Explore
-		if !slices.Contains(universal.Names(), e.Alg) {
-			return fmt.Errorf("jobs: unknown construction %q", e.Alg)
+		zs, isZoo := algos.For(e.Alg)
+		if !isZoo && !slices.Contains(universal.Names(), e.Alg) {
+			return fmt.Errorf("jobs: unknown construction or algorithm %q", e.Alg)
 		}
 		if !slices.Contains(explore.Workloads(), e.Object) {
 			return fmt.Errorf("jobs: unknown explore workload %q", e.Object)
@@ -268,6 +294,24 @@ func (s *Spec) Validate() error {
 		}
 		if e.OpsPerProc < 1 || e.OpsPerProc > 8 {
 			return fmt.Errorf("jobs: explore opsPerProc %d out of range [1, 8]", e.OpsPerProc)
+		}
+		if isZoo {
+			// Mirror explore.newRawRunner's constraints at submit time so a
+			// bad spec fails before it is scheduled.
+			if e.Object != zs.Object {
+				return fmt.Errorf("jobs: algorithm %s implements workload %q, got %q", e.Alg, zs.Object, e.Object)
+			}
+			if e.OpsPerProc != 1 {
+				return fmt.Errorf("jobs: algorithm %s is one-shot (opsPerProc must be 1, got %d)", e.Alg, e.OpsPerProc)
+			}
+			if zs.MaxN > 0 && e.N > zs.MaxN {
+				return fmt.Errorf("jobs: algorithm %s supports at most n = %d, got %d", e.Alg, zs.MaxN, e.N)
+			}
+		}
+		if e.LLSC != "" {
+			if _, err := llsc.ParseBackend(e.LLSC); err != nil {
+				return fmt.Errorf("jobs: %w", err)
+			}
 		}
 		switch e.Mode {
 		case "exhaustive":

@@ -57,7 +57,7 @@ func TestSpecIDDefaultsInvariant(t *testing.T) {
 			"report all experiments == none",
 			&Spec{Kind: KindReport, Report: &ReportSpec{}},
 			&Spec{Kind: KindReport, Report: &ReportSpec{
-				Experiments: []string{"E1", "E2", "E3", "E4/E5", "E6", "E7/E8", "E9", "E10", "E11", "E12"},
+				Experiments: []string{"E1", "E2", "E3", "E4/E5", "E6", "E7/E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"},
 			}},
 		},
 		{
@@ -81,6 +81,21 @@ func TestSpecIDDefaultsInvariant(t *testing.T) {
 			"sweep construction order-insensitive",
 			&Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", Constructions: []string{"central", "herlihy"}}},
 			&Spec{Kind: KindSweep, Sweep: &SweepSpec{Type: "queue", Constructions: []string{"herlihy", "central"}}},
+		},
+		{
+			// Zoo algorithms default Object to their own workload, and the
+			// backend's alias spellings collapse to one ID ("" == native).
+			"explore zoo defaults and backend aliases",
+			&Spec{Kind: KindExplore, Explore: &ExploreSpec{Alg: "tas-tournament", N: 3, LLSC: "blelloch-wei"}},
+			&Spec{Kind: KindExplore, Explore: &ExploreSpec{
+				Alg: "tas-tournament", Object: "tas",
+				N: 3, OpsPerProc: 1, Mode: "fuzz", Samples: 200, Seed: 1, LLSC: "bw",
+			}},
+		},
+		{
+			"explore native backend == empty",
+			&Spec{Kind: KindExplore, Explore: &ExploreSpec{Alg: "tas-tv", LLSC: "native"}},
+			&Spec{Kind: KindExplore, Explore: &ExploreSpec{Alg: "tas-tv"}},
 		},
 	}
 	for _, tc := range cases {
@@ -167,6 +182,10 @@ func TestSpecValidateRejects(t *testing.T) {
 		{"explore bad mode", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Mode: "guess"}}, "mode"},
 		{"explore samples too large", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Samples: 2_000_000}}, "out of range"},
 		{"explore negative budget", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Budget: -1}}, "negative"},
+		{"explore zoo wrong workload", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Alg: "tas-tournament", Object: "fetch-increment"}}, "implements workload"},
+		{"explore zoo multi-op", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Alg: "tas-tournament", OpsPerProc: 2}}, "one-shot"},
+		{"explore zoo beyond maxN", &Spec{Kind: KindExplore, Explore: &ExploreSpec{Alg: "tas-tv", N: 3}}, "at most"},
+		{"explore bad backend", &Spec{Kind: KindExplore, Explore: &ExploreSpec{LLSC: "bogus"}}, "backend"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

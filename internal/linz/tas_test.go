@@ -1,0 +1,140 @@
+package linz
+
+import (
+	"testing"
+
+	"jayanti98/internal/objtype"
+)
+
+func tasOp() objtype.Op { return objtype.Op{Name: objtype.OpTestAndSet} }
+
+// The TAS histories below are the shapes the zoo's randomized protocols
+// can produce (and the shapes their seeded mutants produce); the explore
+// harness feeds exactly such histories to this checker, so these tests pin
+// the oracle the protocol tests rely on.
+
+func TestTASSequentialWinnerFirst(t *testing.T) {
+	h := NewHistory(3)
+	h.Add(0, tasOp(), 0, 1, 2)
+	h.Add(1, tasOp(), 1, 3, 4)
+	h.Add(2, tasOp(), 1, 5, 6)
+	res, err := Check(objtype.NewTAS(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("one winner first, losers later must linearize")
+	}
+}
+
+func TestTASTwoWinnersRejected(t *testing.T) {
+	h := NewHistory(2)
+	h.Add(0, tasOp(), 0, 1, 10)
+	h.Add(1, tasOp(), 0, 2, 9)
+	res, err := Check(objtype.NewTAS(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("two winners must be rejected even with overlapping intervals")
+	}
+}
+
+// TestTASAllLosersRejected is the broken-TV shape: every operation returns
+// 1, but the first linearized test&set must return 0.
+func TestTASAllLosersRejected(t *testing.T) {
+	h := NewHistory(2)
+	h.Add(0, tasOp(), 1, 1, 10)
+	h.Add(1, tasOp(), 1, 2, 9)
+	res, err := Check(objtype.NewTAS(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("a history with no winner must be rejected")
+	}
+}
+
+// TestTASRealTimeViolationRejected is the doorway-less-tournament shape: a
+// loser completes strictly before the winner invokes, so the loser must
+// linearize first — but then it would have won.
+func TestTASRealTimeViolationRejected(t *testing.T) {
+	h := NewHistory(2)
+	h.Add(0, tasOp(), 1, 1, 2) // completed loser...
+	h.Add(1, tasOp(), 0, 3, 4) // ...before the winner's invocation
+	res, err := Check(objtype.NewTAS(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("completed loser before the winner's invocation must be rejected")
+	}
+}
+
+// TestTASOverlappingLoserAllowed: with overlap the loser may linearize
+// after the winner even though it returned first.
+func TestTASOverlappingLoserAllowed(t *testing.T) {
+	h := NewHistory(2)
+	h.Add(0, tasOp(), 1, 1, 5)
+	h.Add(1, tasOp(), 0, 2, 9)
+	res, err := Check(objtype.NewTAS(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("overlapping loser-then-winner must linearize")
+	}
+}
+
+// TestTASPendingWinner: a truncated run where the eventual winner never
+// returned — the pending op may linearize first (it could have taken
+// effect), so the completed op's 1 response is explicable.
+func TestTASPendingWinner(t *testing.T) {
+	h := NewHistory(2)
+	h.AddPending(0, tasOp(), 1)
+	h.Add(1, tasOp(), 1, 2, 3)
+	res, err := Check(objtype.NewTAS(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("pending op must be allowed to absorb the win")
+	}
+	// But without any candidate winner — pending or not — a lone loser is
+	// still impossible.
+	h2 := NewHistory(2)
+	h2.Add(1, tasOp(), 1, 2, 3)
+	res, err = Check(objtype.NewTAS(), h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("a lone loser with nobody else in the history must be rejected")
+	}
+}
+
+// TestTASReadHistories: the spec's read operation observes the state
+// transition at the winner's linearization point.
+func TestTASReadHistories(t *testing.T) {
+	h := NewHistory(3)
+	h.Add(0, objtype.Op{Name: objtype.OpRead}, 0, 1, 2)
+	h.Add(1, tasOp(), 0, 3, 4)
+	h.Add(2, objtype.Op{Name: objtype.OpRead}, 1, 5, 6)
+	res, err := Check(objtype.NewTAS(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Linearizable {
+		t.Fatal("read 0, win, read 1 must linearize")
+	}
+	h2 := NewHistory(3)
+	h2.Add(0, objtype.Op{Name: objtype.OpRead}, 1, 1, 2) // reads set...
+	h2.Add(1, tasOp(), 0, 3, 4)                          // ...before anyone set it
+	res, err = Check(objtype.NewTAS(), h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linearizable {
+		t.Fatal("read of 1 strictly before the only test&set must be rejected")
+	}
+}

@@ -15,6 +15,10 @@ type Stats struct {
 	Runs int
 	// MaxDepth is the length of the longest schedule explored.
 	MaxDepth int
+	// Truncated counts schedules cut off at the depth limit with processes
+	// still live. Always 0 under Exhaustive (which treats hitting the limit
+	// as an error); only ExhaustiveBounded produces nonzero counts.
+	Truncated int
 }
 
 // Exhaustive explores every schedule of alg at system size n under the
@@ -30,11 +34,26 @@ type Stats struct {
 // limit means a non-terminating schedule — reported as an error, never
 // silently truncated.
 func Exhaustive(alg machine.Algorithm, n int, toss machine.TossAssignment, depthLimit int) (Stats, error) {
+	return exhaust(alg, n, toss, depthLimit, false)
+}
+
+// ExhaustiveBounded is Exhaustive for algorithms that are not wait-free:
+// the randomized protocols of the algorithm zoo (internal/algos) can run
+// forever under an adversarial schedule, so a schedule reaching depthLimit
+// is expected — it is counted in Stats.Truncated and the search backs off,
+// instead of failing. Engine equivalence is still verified on every step of
+// every explored prefix, truncated or not.
+func ExhaustiveBounded(alg machine.Algorithm, n int, toss machine.TossAssignment, depthLimit int) (Stats, error) {
+	return exhaust(alg, n, toss, depthLimit, true)
+}
+
+func exhaust(alg machine.Algorithm, n int, toss machine.TossAssignment, depthLimit int, truncate bool) (Stats, error) {
 	x := &explorer{
 		alg:        alg,
 		n:          n,
 		toss:       toss,
 		depthLimit: depthLimit,
+		truncate:   truncate,
 		memo:       make(map[string]bool),
 	}
 	if err := x.expand(nil); err != nil {
@@ -48,6 +67,7 @@ type explorer struct {
 	n          int
 	toss       machine.TossAssignment
 	depthLimit int
+	truncate   bool
 	memo       map[string]bool
 	stats      Stats
 }
@@ -83,6 +103,10 @@ func (x *explorer) expand(prefix []int) error {
 		return nil
 	}
 	if len(prefix) >= x.depthLimit {
+		if x.truncate {
+			x.stats.Truncated++
+			return nil
+		}
 		return fmt.Errorf("lockstep: %s n=%d: schedule %v reached depth limit %d without terminating", x.alg.Name(), x.n, prefix, x.depthLimit)
 	}
 	for pid := 0; pid < x.n; pid++ {

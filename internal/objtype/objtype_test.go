@@ -311,7 +311,7 @@ func TestReplayFetchIncrement(t *testing.T) {
 func TestUnknownOpPanics(t *testing.T) {
 	for _, typ := range []Type{
 		NewFetchIncrement(4), NewEmptyQueue(), NewReadIncrement(4),
-		NewCAS(nil), NewSwapObject(nil),
+		NewCAS(nil), NewSwapObject(nil), NewTAS(),
 	} {
 		func() {
 			defer func() {
@@ -337,6 +337,7 @@ func TestTypeNamesAndOps(t *testing.T) {
 		{NewReadIncrement(4), "read/increment(4)", 2},
 		{NewCAS(nil), "compare&swap", 3},
 		{NewSwapObject(nil), "swap-object", 2},
+		{NewTAS(), "test&set", 2},
 	}
 	for _, c := range cases {
 		if got := c.typ.Name(); got != c.name {

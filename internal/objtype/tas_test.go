@@ -1,0 +1,58 @@
+package objtype
+
+import "testing"
+
+func TestTASApply(t *testing.T) {
+	typ := NewTAS()
+	state := typ.Init(3)
+	if state != 0 {
+		t.Fatalf("initial state = %v, want 0", state)
+	}
+	state, resp := typ.Apply(state, Op{Name: OpTestAndSet})
+	if resp != 0 || state != 1 {
+		t.Fatalf("first test&set: resp=%v state=%v, want 0 / 1", resp, state)
+	}
+	state, resp = typ.Apply(state, Op{Name: OpTestAndSet})
+	if resp != 1 || state != 1 {
+		t.Fatalf("second test&set: resp=%v state=%v, want 1 / 1", resp, state)
+	}
+	if _, resp = typ.Apply(state, Op{Name: OpRead}); resp != 1 {
+		t.Fatalf("read = %v, want 1", resp)
+	}
+	if _, resp = typ.Apply(typ.Init(3), Op{Name: OpRead}); resp != 0 {
+		t.Fatalf("read of fresh object = %v, want 0", resp)
+	}
+}
+
+// TestReplayTAS: in any sequential execution exactly the first test&set
+// wins — the defining property the linearizability checks of the zoo's
+// randomized protocols reduce to.
+func TestReplayTAS(t *testing.T) {
+	typ := NewTAS()
+	log := make([]Op, 6)
+	for i := range log {
+		log[i] = Op{Name: OpTestAndSet}
+	}
+	final, resps := Replay(typ, 6, log)
+	if final != 1 {
+		t.Fatalf("final state = %v, want 1", final)
+	}
+	for i, r := range resps {
+		want := 1
+		if i == 0 {
+			want = 0
+		}
+		if r != want {
+			t.Fatalf("response %d = %v, want %v", i, r, want)
+		}
+	}
+}
+
+func TestTASBadState(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-int state must panic")
+		}
+	}()
+	NewTAS().Apply("1", Op{Name: OpTestAndSet})
+}

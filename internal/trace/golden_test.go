@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	"jayanti98/internal/algos/tas"
+	"jayanti98/internal/core"
+	"jayanti98/internal/lowerbound"
 	"jayanti98/internal/machine"
 	"jayanti98/internal/wakeup"
 )
@@ -29,12 +32,21 @@ func TestGoldenTraces(t *testing.T) {
 		alg  machine.Algorithm
 		n    int
 		seed int64
+		// ta overrides the default parity-based toss helper. The TAS cases
+		// need it: (pid+j+seed)%2 gives same-parity pids identical toss
+		// streams, which livelocks a TV match between them forever.
+		ta   machine.TossAssignment
 		file string
 	}{
-		{wakeup.SetRegister(), 3, 0, "set_register_n3.json"},
-		{wakeup.SetRegister(), 4, 3, "set_register_n4_seed3.json"},
-		{wakeup.DoubleRegister(), 4, 0, "double_register_n4.json"},
-		{wakeup.MoveCourier(), 4, 0, "move_courier_n4.json"},
+		{wakeup.SetRegister(), 3, 0, nil, "set_register_n3.json"},
+		{wakeup.SetRegister(), 4, 3, nil, "set_register_n4_seed3.json"},
+		{wakeup.DoubleRegister(), 4, 0, nil, "double_register_n4.json"},
+		{wakeup.MoveCourier(), 4, 0, nil, "move_courier_n4.json"},
+		// The zoo's randomized TAS protocols under the same adversary, with
+		// hashed tosses (the protocols are randomized, not wait-free, so
+		// degenerate toss streams livelock them).
+		{tas.TrompVitanyi(), 2, 0, lowerbound.HashTosses(3), "tas_tv_n2_seed3.json"},
+		{tas.Tournament(), 4, 0, lowerbound.HashTosses(3), "tas_tournament_n4_seed3.json"},
 	}
 	engines := []machine.Engine{machine.EngineGoroutine, machine.EngineVM}
 	for _, tc := range cases {
@@ -43,7 +55,7 @@ func TestGoldenTraces(t *testing.T) {
 			golden := filepath.Join("testdata", tc.file)
 			if *updateGolden {
 				prev := machine.SetDefaultEngine(machine.EngineGoroutine)
-				got := capture(t, tc.alg, tc.n, tc.seed)
+				got := captureCase(t, tc.alg, tc.n, tc.seed, tc.ta)
 				machine.SetDefaultEngine(prev)
 				data, err := got.MarshalIndent()
 				if err != nil {
@@ -69,7 +81,7 @@ func TestGoldenTraces(t *testing.T) {
 				t.Run(eng.String(), func(t *testing.T) {
 					prev := machine.SetDefaultEngine(eng)
 					defer machine.SetDefaultEngine(prev)
-					got := capture(t, tc.alg, tc.n, tc.seed)
+					got := captureCase(t, tc.alg, tc.n, tc.seed, tc.ta)
 					data, err := got.MarshalIndent()
 					if err != nil {
 						t.Fatal(err)
@@ -96,4 +108,18 @@ func normalize(b []byte) []byte {
 		b = b[:len(b)-1]
 	}
 	return b
+}
+
+// captureCase runs one golden case: with an explicit toss assignment when
+// the case carries one, else through the shared parity-based capture.
+func captureCase(t *testing.T, alg machine.Algorithm, n int, seed int64, ta machine.TossAssignment) *Trace {
+	t.Helper()
+	if ta == nil {
+		return capture(t, alg, n, seed)
+	}
+	run, err := core.RunAll(alg, n, ta, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromAllRun(run)
 }

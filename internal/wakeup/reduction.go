@@ -153,6 +153,42 @@ func ReadIncrement(obj ObjectClient) machine.Algorithm {
 	})
 }
 
+// TAS returns the wakeup algorithm via a one-shot test&set object — the
+// algorithm zoo's reduction (internal/algos, DESIGN §15). Each process
+// performs test&set once and returns 1 iff it lost: a loser's response
+// proves the winner's operation linearized before its own, so at n = 2 the
+// loser knows *every* other process has taken a step and conditions (2)
+// and (3) both hold. The reduction is sound ONLY at n ≤ 2 — a loser among
+// n ≥ 3 processes knows one other process ran, not all of them — which is
+// the operational face of test&set not being perturbable: Theorem 6.1 does
+// not apply to TAS implementations beyond the trivial log₄ 2 bound, and
+// TestTASReductionUnsoundBeyondTwo exhibits the condition-(3) violation at
+// n = 3. (At n = 1 the lone process returns 1 unconditionally; its own
+// operation is the step condition (3) asks for.)
+func TAS(obj ObjectClient) machine.Algorithm {
+	return machine.New("wakeup/test&set", func(e *machine.Env) objtype.Value {
+		resp := obj.Invoke(e, objtype.Op{Name: objtype.OpTestAndSet})
+		if e.N() == 1 {
+			return 1
+		}
+		return resp
+	})
+}
+
+// TASReduction is the ReductionSpec for the test&set reduction. It is
+// deliberately NOT included in Reductions(): those are the Theorem 6.2
+// reductions, valid at every n, and experiment sweeps iterate them at
+// n ≫ 2. Callers of this spec (experiment E13, the wakeup tests) must
+// respect its two-process horizon.
+func TASReduction() ReductionSpec {
+	return ReductionSpec{
+		Name:          "test&set",
+		Type:          func(n int) objtype.Type { return objtype.NewTAS() },
+		Build:         TAS,
+		OpsPerProcess: 1,
+	}
+}
+
 // lowBits interprets a hex-string response and masks it to its low n bits.
 func lowBits(resp objtype.Value, n int) *big.Int {
 	v := objtype.ParseHex(respHex(resp))

@@ -374,3 +374,44 @@ func TestCountingNetworkWakeupUnderRandomSchedules(t *testing.T) {
 		}
 	}
 }
+
+// TestTASReductionWakeupAtTwo: within its horizon (n ≤ 2) the test&set
+// reduction is a correct wakeup algorithm and satisfies Theorem 6.1's
+// conclusion under the adversary.
+func TestTASReductionWakeupAtTwo(t *testing.T) {
+	spec := TASReduction()
+	for _, n := range []int{1, 2} {
+		client := llscClient{typ: spec.Type(n), reg: 0}
+		run := adversaryRun(t, spec.Build(client), n)
+		if err := core.CheckWakeupRun(run); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := core.VerifyTheorem61(run); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestTASReductionUnsoundBeyondTwo exhibits why TASReduction stays out of
+// Reductions(): at n = 3 a sequential schedule lets p1 lose to p0 and
+// return 1 while p2 has taken no step at all — wakeup condition (3) is
+// violated, so no Ω(log n) bound for n ≥ 3 follows from test&set via this
+// route. This is the operational face of TAS not being perturbable (the
+// object's responses stop carrying information once the state is set).
+func TestTASReductionUnsoundBeyondTwo(t *testing.T) {
+	spec := TASReduction()
+	client := llscClient{typ: spec.Type(3), reg: 0}
+	mem := shmem.New()
+	res, err := sched.Execute(spec.Build(client), 3, mem, sched.Sequential{}, machine.ZeroTosses, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential runs p0 to completion, then p1, then p2: when p1 returns,
+	// p2 is still stepless.
+	if res.Returns[0] != 0 {
+		t.Fatalf("p0 (winner) returned %v, want 0", res.Returns[0])
+	}
+	if res.Returns[1] != 1 {
+		t.Fatalf("p1 (loser) returned %v, want 1 — the condition-(3) violation this test documents", res.Returns[1])
+	}
+}
